@@ -1,0 +1,135 @@
+// E11 — ablation of the ReBatching design choice: *why geometric batches?*
+//
+// Section 4's key idea is to concentrate the eps*n slack into batches of
+// geometrically decreasing size probed in order. This ablation keeps the
+// total space fixed at (1+eps)n and the worst-case probe budget comparable,
+// and varies only the geometry:
+//   * geometric  — the paper: B_0 = n, B_i = eps*n/2^i, 1 probe each;
+//   * flat       — one batch of (1+eps)n, budgeted uniform probing
+//                  (the strawman);
+//   * two-level  — B_0 = n then a single slack batch of eps*n;
+//   * equal-split— B_0 = n then kappa equal slack batches of eps*n/kappa.
+// All variants fall back to a sequential scan, so correctness is identical;
+// the measurement is the step distribution (max / p99 / mean) and how many
+// processes exhaust their randomized budget.
+#include <cmath>
+#include <memory>
+
+#include "bench_util.h"
+#include "renaming/batch_layout.h"
+#include "sim/runner.h"
+
+using namespace loren;
+using namespace loren::bench;
+
+namespace {
+
+struct Geometry {
+  std::string label;
+  std::vector<std::pair<std::uint64_t, int>> batches;  // (size, probes)
+};
+
+Geometry geometric(std::uint64_t n, double eps, int t0) {
+  const BatchLayout L(n, BatchLayoutParams{.epsilon = eps, .beta = 3,
+                                           .t0_override = t0});
+  Geometry g{"geometric (paper)", {}};
+  for (std::uint64_t i = 0; i < L.num_batches(); ++i) {
+    g.batches.emplace_back(L.size(i), L.probes(i));
+  }
+  return g;
+}
+
+Geometry flat(std::uint64_t n, double eps, int budget) {
+  const auto total = BatchLayout(n, eps).total();
+  return Geometry{"flat (uniform, budgeted)", {{total, budget}}};
+}
+
+Geometry two_level(std::uint64_t n, double eps, int t0) {
+  const auto total = BatchLayout(n, eps).total();
+  return Geometry{"two-level", {{n, t0}, {total - n, 4}}};
+}
+
+Geometry equal_split(std::uint64_t n, double eps, int t0) {
+  const BatchLayout L(n, eps);
+  const std::uint64_t kappa = std::max<std::uint64_t>(L.kappa(), 1);
+  const std::uint64_t slack = L.total() - n;
+  Geometry g{"equal-split", {{n, t0}}};
+  for (std::uint64_t i = 0; i < kappa; ++i) {
+    const std::uint64_t size = slack / kappa + (i < slack % kappa ? 1 : 0);
+    if (size > 0) g.batches.emplace_back(size, i + 1 == kappa ? 3 : 1);
+  }
+  return g;
+}
+
+sim::AlgoFactory factory_for(const Geometry& g) {
+  auto batches = std::make_shared<std::vector<std::pair<std::uint64_t, int>>>(
+      g.batches);
+  return [batches](sim::Env& env, sim::ProcessId) -> sim::Task<sim::Name> {
+    std::uint64_t total = 0;
+    for (const auto& [size, probes] : *batches) total += size;
+    env.ensure_locations(total);
+    std::uint64_t offset = 0;
+    for (const auto& [size, probes] : *batches) {
+      for (int j = 0; j < probes; ++j) {
+        const std::uint64_t x = offset + env.random_below(size);
+        if (co_await sim::tas(env, x)) co_return static_cast<sim::Name>(x);
+      }
+      offset += size;
+    }
+    for (std::uint64_t u = 0; u < total; ++u) {  // backup: identical for all
+      if (co_await sim::tas(env, u)) co_return static_cast<sim::Name>(u);
+    }
+    co_return -1;
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E11 — ablation: batch geometry (the Section 4 design choice)\n");
+  std::printf("\nfixed: namespace (1+eps)n, eps=0.5, t0=8, backup identical; "
+              "varies: how the\neps*n slack is split into batches.\n");
+
+  for (const std::uint64_t n : {std::uint64_t{1} << 12, std::uint64_t{1} << 16}) {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<Geometry> geometries = {
+        geometric(n, 0.5, 8),
+        flat(n, 0.5, 8 + 4),  // same total worst-case budget as geometric-ish
+        two_level(n, 0.5, 8),
+        equal_split(n, 0.5, 8),
+    };
+    for (const auto& g : geometries) {
+      double max_acc = 0, p99_acc = 0, mean_acc = 0;
+      const std::uint64_t seeds = 3;
+      int budget = 0;
+      for (const auto& [size, probes] : g.batches) budget += probes;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        auto strat = strategy_by_name("random");
+        sim::RunConfig cfg{.num_processes = static_cast<sim::ProcessId>(n),
+                           .seed = 8000 + s,
+                           .strategy = strat.get()};
+        const Measurement m = measure(factory_for(g), cfg);
+        max_acc += m.steps.max;
+        p99_acc += m.steps.p99;
+        mean_acc += m.steps.mean;
+      }
+      rows.push_back({g.label, fmt_u(g.batches.size()),
+                      fmt_u(static_cast<std::uint64_t>(budget)),
+                      fmt(max_acc / seeds, 1), fmt(p99_acc / seeds, 1),
+                      fmt(mean_acc / seeds, 2)});
+    }
+    print_table("n = " + std::to_string(n) + " (avg of 3 seeds)",
+                {"geometry", "batches", "probe budget", "max steps",
+                 "p99 steps", "mean steps"},
+                rows);
+  }
+
+  std::printf(
+      "\nReading: the geometric split gives the smallest worst-case probe "
+      "budget for\nthe same tail guarantee — flat probing needs its whole "
+      "budget in the tail,\ntwo-level wastes slack on a batch that is still "
+      "contended, and equal-split\npays extra probes per level. The "
+      "doubly-exponential survivor decay (E2) is\nwhat the geometric sizing "
+      "buys.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E9 — the Section 2 remark: running the renaming algorithms over TAS
+// implemented from read/write registers costs a multiplicative factor
+// (O(lg lg k) with the adaptive constructions the paper cites; our
+// substrates pay O(lg n) for the tournament and less for sifter+tournament
+// in the common uncontended case).
+//
+// Table: ReBatching over (a) hardware TAS, (b) tournament-of-2-process-TAS,
+// (c) sifter + tournament — total register steps, steps per probe, and the
+// measured multiplicative factor vs hardware.
+#include "bench_util.h"
+#include "renaming/rebatching.h"
+#include "tas/rw_tas.h"
+#include "tas/tas_service.h"
+
+using namespace loren;
+using namespace loren::bench;
+
+namespace {
+
+struct ServiceRun {
+  double total_steps = 0;
+  double max_steps = 0;
+  bool correct = true;
+};
+
+ServiceRun run_with(TasService* service, std::uint64_t n, std::uint64_t seed) {
+  ReBatching algo(n, ReBatching::Options{.layout = {.epsilon = 0.5},
+                                         .service = service});
+  auto strat = strategy_by_name("random");
+  sim::RunConfig cfg{.num_processes = static_cast<sim::ProcessId>(n),
+                     .seed = seed,
+                     .strategy = strat.get(),
+                     .max_total_steps = 50'000'000};
+  const Measurement m = measure(
+      [&algo](sim::Env& env, sim::ProcessId) -> sim::Task<sim::Name> {
+        co_return co_await algo.get_name(env);
+      },
+      cfg);
+  return {double(m.result.total_steps), m.steps.max,
+          m.result.renaming_correct()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E9 — hardware TAS vs read/write TAS substrates (Sec. 2)\n");
+  std::printf("\npaper: with TAS from reads/writes, expected worst-case "
+              "complexity grows by a\nmultiplicative factor; w.h.p. bounds "
+              "become at least logarithmic [22].\n");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::uint64_t n : {64u, 128u, 256u}) {
+    const BatchLayout layout(n, 0.5);
+    double hw_total = 0, tour_total = 0, sift_total = 0;
+    double hw_max = 0, tour_max = 0, sift_max = 0;
+    const std::uint64_t seeds = 3;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const ServiceRun hw = run_with(nullptr, n, 7000 + s);
+      TournamentTasService tournament(0, layout.total(),
+                                      static_cast<sim::ProcessId>(n));
+      const ServiceRun tour = run_with(&tournament, n, 7100 + s);
+      SifterTasService sifter(0, layout.total(),
+                              static_cast<sim::ProcessId>(n));
+      const ServiceRun sift = run_with(&sifter, n, 7200 + s);
+      hw_total += hw.total_steps;
+      tour_total += tour.total_steps;
+      sift_total += sift.total_steps;
+      hw_max += hw.max_steps;
+      tour_max += tour.max_steps;
+      sift_max += sift.max_steps;
+    }
+    const double depth =
+        double(TournamentTasService(0, 1, static_cast<sim::ProcessId>(n))
+                   .tree_depth());
+    rows.push_back({fmt_u(n), fmt(depth, 0), fmt(hw_total / seeds, 0),
+                    fmt(tour_total / seeds, 0), fmt(sift_total / seeds, 0),
+                    fmt(tour_total / hw_total, 1),
+                    fmt(sift_total / hw_total, 1)});
+  }
+  print_table("ReBatching total steps by TAS substrate (full contention, "
+              "avg of 3 seeds)",
+              {"n", "tree depth lg n", "hardware", "tournament",
+               "sifter+tournament", "tournament factor", "sifter factor"},
+              rows);
+
+  std::printf(
+      "\nReading: the tournament pays ~4-6 register ops per 2-process node "
+      "times\nlg n depth per probe (factor tracks the tree depth); the "
+      "sifter eliminates\nmost contended nodes and cuts the factor, the "
+      "same effect the paper's cited\nadaptive TAS constructions push to "
+      "O(lg lg k). Hardware TAS is what the\npaper assumes — this is the "
+      "cost of not having it.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Adversary lab: watch the renaming algorithms run against the paper's
+// adversarial schedulers, step by step, in the deterministic simulator.
+//
+//   build/examples/adversary_lab [n] [seed]
+//
+// For each (algorithm x adversary) pair the lab prints the step-complexity
+// profile of one full execution: max and p99 steps per process, total
+// steps, the largest name assigned, and — the paper's headline — how close
+// the max stays to the log2 log2 n + O(1) budget even when the adversary
+// is allowed to inspect every coin flip before scheduling (the strong
+// adaptive "collision" adversary).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "platform/stats.h"
+#include "renaming/adaptive.h"
+#include "renaming/baselines.h"
+#include "renaming/fast_adaptive.h"
+#include "renaming/rebatching.h"
+#include "sim/runner.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using loren::sim::AlgoFactory;
+using loren::sim::Env;
+using loren::sim::Name;
+using loren::sim::ProcessId;
+using loren::sim::RunConfig;
+using loren::sim::RunResult;
+using loren::sim::Task;
+
+struct NamedStrategy {
+  const char* label;
+  std::unique_ptr<loren::sim::Strategy> strategy;
+};
+
+std::vector<NamedStrategy> make_adversaries() {
+  std::vector<NamedStrategy> out;
+  out.push_back({"round-robin (oblivious)",
+                 std::make_unique<loren::sim::RoundRobinStrategy>()});
+  out.push_back({"uniform random (oblivious)",
+                 std::make_unique<loren::sim::RandomStrategy>()});
+  out.push_back({"layered permutations (Sec. 6)",
+                 std::make_unique<loren::sim::LayeredStrategy>()});
+  out.push_back({"collision adversary (adaptive)",
+                 std::make_unique<loren::sim::CollisionAdversary>()});
+  return out;
+}
+
+void report(const char* algo, const char* adversary, const RunResult& r) {
+  std::vector<std::uint64_t> steps;
+  steps.reserve(r.processes.size());
+  for (const auto& p : r.processes) steps.push_back(p.steps);
+  const loren::Summary s = loren::summarize_u64(steps);
+  std::printf("  %-34s max=%4.0f p99=%4.0f mean=%5.2f total=%7llu "
+              "max-name=%5lld %s\n",
+              adversary, s.max, s.p99, s.mean,
+              static_cast<unsigned long long>(r.total_steps),
+              static_cast<long long>(r.max_name),
+              r.renaming_correct() ? "[names unique]" : "[VIOLATION!]");
+  (void)algo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1024;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  if (n < 1) {
+    std::fprintf(stderr, "usage: %s [n>=1] [seed]\n", argv[0]);
+    return 1;
+  }
+  const auto procs = static_cast<ProcessId>(n);
+
+  std::printf("n = %llu processes, seed = %llu\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(seed));
+  std::printf("ReBatching main-phase budget: %d probes "
+              "(t0 + (kappa-1) + beta, kappa = ceil(lg lg n))\n\n",
+              loren::BatchLayout(n, 0.5).max_probes_main_phase());
+
+  std::printf("ReBatching (eps = 0.5), full contention:\n");
+  for (auto& adv : make_adversaries()) {
+    loren::ReBatching algo(n, 0.5);
+    AlgoFactory factory = [&algo](Env& env, ProcessId) -> Task<Name> {
+      co_return co_await algo.get_name(env);
+    };
+    RunConfig cfg{.num_processes = procs, .seed = seed,
+                  .strategy = adv.strategy.get()};
+    report("rebatching", adv.label, loren::sim::simulate(factory, cfg));
+  }
+
+  std::printf("\nuniform probing baseline (m = 1.5n):\n");
+  for (auto& adv : make_adversaries()) {
+    AlgoFactory factory = [n](Env& env, ProcessId) -> Task<Name> {
+      co_return co_await loren::uniform_probing(env, n + n / 2);
+    };
+    RunConfig cfg{.num_processes = procs, .seed = seed,
+                  .strategy = adv.strategy.get()};
+    report("uniform", adv.label, loren::sim::simulate(factory, cfg));
+  }
+
+  const auto k = static_cast<ProcessId>(std::max<std::uint64_t>(n / 16, 1));
+  std::printf("\nAdaptiveReBatching, contention k = %u (n unknown to it):\n",
+              k);
+  for (auto& adv : make_adversaries()) {
+    loren::AdaptiveReBatching algo;
+    AlgoFactory factory = [&algo](Env& env, ProcessId) -> Task<Name> {
+      co_return co_await algo.get_name(env);
+    };
+    RunConfig cfg{.num_processes = k, .seed = seed,
+                  .strategy = adv.strategy.get()};
+    report("adaptive", adv.label, loren::sim::simulate(factory, cfg));
+  }
+
+  std::printf("\nFastAdaptiveReBatching, contention k = %u:\n", k);
+  for (auto& adv : make_adversaries()) {
+    loren::FastAdaptiveReBatching algo;
+    AlgoFactory factory = [&algo](Env& env, ProcessId) -> Task<Name> {
+      co_return co_await algo.get_name(env);
+    };
+    RunConfig cfg{.num_processes = k, .seed = seed,
+                  .strategy = adv.strategy.get()};
+    report("fast-adaptive", adv.label, loren::sim::simulate(factory, cfg));
+  }
+
+  std::printf("\nNote how ReBatching's max steps barely move across "
+              "adversaries while the\nuniform baseline's tail stretches — "
+              "the separation Theorem 4.1 formalizes.\n");
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "lowerbound/layered_execution.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lowerbound/poisson_coupling.h"
+#include "lowerbound/recurrence.h"
+#include "platform/poisson.h"
+#include "platform/rng.h"
+
+namespace loren::lb {
+
+namespace {
+
+/// Terminates the probe-recording run once enough layers are captured.
+struct ExtractionDone {};
+
+/// Everything-loses environment: records each probed location, returns
+/// "lost" for every TAS, 0 for reads, and executes immediately.
+class AllLoseEnv final : public sim::Env {
+ public:
+  AllLoseEnv(std::uint64_t max_ops, std::uint64_t seed, sim::ProcessId pid)
+      : max_ops_(max_ops), rng_(loren::mix_seed(seed, pid)), pid_(pid) {}
+
+  [[nodiscard]] bool immediate() const override { return true; }
+
+  std::uint64_t execute_now(sim::OpKind kind, sim::Location loc,
+                            std::uint64_t) override {
+    if (kind == sim::OpKind::kTas) {
+      probes_.push_back(loc);
+      if (probes_.size() >= max_ops_) throw ExtractionDone{};
+      return 0;  // lose
+    }
+    // The hardware-TAS renaming algorithms only issue TAS; reads/writes
+    // would come from register substrates, which the Section 6 reduction
+    // does not model. Treat them as no-ops reading zero.
+    return 0;
+  }
+
+  void post(sim::PendingOp) override {
+    throw std::logic_error("AllLoseEnv is immediate");
+  }
+  std::uint64_t random_below(std::uint64_t bound) override {
+    return rng_.below(bound);
+  }
+  void ensure_locations(std::uint64_t count) override {
+    num_locations_ = std::max(num_locations_, count);
+  }
+  [[nodiscard]] sim::ProcessId current_pid() const override { return pid_; }
+
+  [[nodiscard]] std::vector<sim::Location> take_probes() {
+    return std::move(probes_);
+  }
+  [[nodiscard]] std::uint64_t num_locations() const { return num_locations_; }
+
+ private:
+  std::uint64_t max_ops_;
+  loren::Xoshiro256 rng_;
+  sim::ProcessId pid_;
+  std::vector<sim::Location> probes_;
+  std::uint64_t num_locations_ = 0;
+};
+
+}  // namespace
+
+TypeSet extract_types(
+    const std::function<sim::Task<sim::Name>(sim::Env&, sim::ProcessId)>& factory,
+    std::uint64_t num_types, std::uint64_t max_layers, std::uint64_t seed) {
+  TypeSet set;
+  set.sequences.reserve(num_types);
+  for (std::uint64_t i = 0; i < num_types; ++i) {
+    AllLoseEnv env(max_layers, seed, static_cast<sim::ProcessId>(i));
+    auto task = factory(env, static_cast<sim::ProcessId>(i));
+    try {
+      task.resume();
+      if (task.done()) task.result();  // surface unexpected exceptions
+    } catch (const ExtractionDone&) {
+      // expected: the type produced max_layers probes
+    }
+    auto probes = env.take_probes();
+    for (sim::Location loc : probes) {
+      set.num_locations = std::max(set.num_locations, loc + 1);
+    }
+    set.sequences.push_back(std::move(probes));
+  }
+  return set;
+}
+
+LayeredResult run_layered_execution(const TypeSet& types,
+                                    const LayeredConfig& config) {
+  LayeredResult result;
+  const std::uint64_t M = types.sequences.size();
+  const double n = static_cast<double>(config.n);
+  const double lambda0_each = n / (2.0 * static_cast<double>(M));
+
+  loren::Xoshiro256 rng(loren::mix_seed(config.seed, 0x1b));
+
+  // Instance = one Poisson copy of a type; `alive` = has not won a TAS.
+  struct Instance {
+    std::uint32_t type;
+    bool marked;
+  };
+  std::vector<Instance> alive;
+  std::vector<double> rate(M, lambda0_each);  // analytic lambda^l_i
+
+  std::unordered_set<std::uint32_t> seen_types;
+  for (std::uint32_t i = 0; i < M; ++i) {
+    const std::uint64_t copies = loren::poisson_sample(lambda0_each, rng);
+    if (copies >= 2) result.bad_initial = true;
+    for (std::uint64_t c = 0; c < copies; ++c) {
+      alive.push_back(Instance{i, true});
+    }
+  }
+  result.initial_instances = alive.size();
+  if (alive.size() > config.n) result.bad_initial = true;
+
+  double total_rate = lambda0_each * static_cast<double>(M);
+
+  for (std::uint64_t layer = 0; layer < config.max_layers; ++layer) {
+    LayerRecord rec;
+    rec.layer = layer;
+    rec.alive_before = alive.size();
+    rec.rate_bound = rate_step(total_rate, static_cast<double>(
+                                               std::max<std::uint64_t>(
+                                                   types.num_locations, 1)));
+    if (alive.empty()) {
+      rec.marked_after = 0;
+      rec.rate_after = 0.0;
+      result.layers.push_back(rec);
+      continue;
+    }
+
+    // Uniform scheduling order within the layer (the oblivious adversary's
+    // random permutation).
+    for (std::size_t i = alive.size(); i > 1; --i) {
+      std::swap(alive[i - 1], alive[rng.below(i)]);
+    }
+
+    // Analytic per-location rates lambda_j = sum of rates of types probing
+    // location j in this layer (over *all* M types, per the analysis).
+    std::unordered_map<sim::Location, double> loc_rate;
+    for (std::uint32_t i = 0; i < M; ++i) {
+      const auto& seq = types.sequences[i];
+      if (layer < seq.size()) loc_rate[seq[layer]] += rate[i];
+    }
+
+    // Group alive instances by probed location, preserving schedule order.
+    std::unordered_map<sim::Location, std::vector<std::size_t>> groups;
+    for (std::size_t idx = 0; idx < alive.size(); ++idx) {
+      const auto& seq = types.sequences[alive[idx].type];
+      if (layer >= seq.size()) continue;  // type exhausted: takes no step
+      groups[seq[layer]].push_back(idx);
+    }
+
+    std::vector<bool> wins(alive.size(), false);
+    std::vector<bool> keep_mark(alive.size(), false);
+    for (auto& [loc, members] : groups) {
+      // Fresh array every layer (Lemma 6.3): the first scheduled process on
+      // a location wins it and leaves the execution.
+      wins[members.front()] = true;
+      ++rec.wins;
+
+      // Marking: the last Y of the Z marked arrivals keep their marks.
+      std::vector<std::size_t> marked_members;
+      for (std::size_t idx : members) {
+        if (alive[idx].marked) marked_members.push_back(idx);
+      }
+      const std::uint64_t z = marked_members.size();
+      const double lambda_j = loc_rate[loc];
+      if (z > 0 && lambda_j > 0.0) {
+        const std::uint64_t y = sample_y_given_z(lambda_j, z, rng);
+        for (std::uint64_t t = 0; t < y && t < z; ++t) {
+          keep_mark[marked_members[z - 1 - t]] = true;
+        }
+      }
+      // Rate evolution lambda^{l+1}_i = lambda^l_i * gamma_j / lambda_j for
+      // every type i probing loc this layer, realized or not.
+      // (Applied below, once per type, to avoid double updates.)
+    }
+
+    // Apply the analytic rate update to every type with a probe this layer.
+    for (std::uint32_t i = 0; i < M; ++i) {
+      const auto& seq = types.sequences[i];
+      if (layer >= seq.size()) {
+        rate[i] = 0.0;
+        continue;
+      }
+      const double lambda_j = loc_rate[seq[layer]];
+      rate[i] = lambda_j > 0.0 ? rate[i] * coupled_rate(lambda_j) / lambda_j
+                               : 0.0;
+    }
+    total_rate = 0.0;
+    for (double r : rate) total_rate += r;
+
+    // Survivors: alive and not a winner; marks per the coupling.
+    std::vector<Instance> next;
+    next.reserve(alive.size());
+    std::uint64_t marked_after = 0;
+    for (std::size_t idx = 0; idx < alive.size(); ++idx) {
+      const auto& seq = types.sequences[alive[idx].type];
+      if (layer >= seq.size()) {
+        // Exhausted types idle forever; they can no longer win, so they
+        // stay alive but lose their mark (the analysis only follows types
+        // that keep probing).
+        next.push_back(Instance{alive[idx].type, false});
+        continue;
+      }
+      if (wins[idx]) continue;
+      next.push_back(Instance{alive[idx].type, keep_mark[idx]});
+      if (keep_mark[idx]) ++marked_after;
+    }
+    alive = std::move(next);
+
+    rec.marked_after = marked_after;
+    rec.rate_after = total_rate;
+    result.layers.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace loren::lb

@@ -1,0 +1,79 @@
+// The layered adversarial execution of the lower bound (paper Section 6).
+//
+// Construction, following Lemmas 6.2-6.4 and Section 6.2:
+//  * Reduce the algorithm to "types": per initial name, the deterministic
+//    sequence of locations it would probe assuming it loses every TAS
+//    (Lemma 6.3's per-layer arrays make the sequence schedule-independent).
+//    extract_types() obtains this sequence by running the real algorithm
+//    coroutine against an everything-loses environment.
+//  * Include X^0_i ~ Pois(n/2M) instances of each of the M types.
+//  * Layer l: every instance that has not yet won applies its l-th probe to
+//    a fresh array T_l, in uniformly random order. The first process on a
+//    location wins it and leaves.
+//  * Marking: per location, with Z_j marked arrivals and analytic rate
+//    lambda_j, keep the marks of the *last* Y_j arrivals where
+//    Y_j ~ Pois(gamma(lambda_j)) is coupled below max(0, Z_j - 1)
+//    (Lemmas 6.4/6.5) — the marked counts then remain independent Poisson
+//    with rates lambda^{l+1}_i = lambda^l_i * gamma_j / lambda_j.
+//
+// The experiment records, per layer, the realized marked/alive counts and
+// the analytic rate, to compare against Lemma 6.6's guaranteed decay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/env.h"
+#include "sim/runner.h"
+#include "sim/task.h"
+
+namespace loren::lb {
+
+/// The probe sequences ("types") of an algorithm, one per initial name.
+struct TypeSet {
+  std::vector<std::vector<sim::Location>> sequences;
+  std::uint64_t num_locations = 0;  // s+m in the paper's reduction
+};
+
+/// Runs `factory(env, type_index)` against an everything-loses environment
+/// and records the first `max_layers` probe locations of each of the
+/// `num_types` types. Randomized algorithms draw their coins from streams
+/// seeded by (seed, type_index), matching the "behavior fully determined by
+/// the initial name" reduction (Yao's principle direction).
+TypeSet extract_types(
+    const std::function<sim::Task<sim::Name>(sim::Env&, sim::ProcessId)>& factory,
+    std::uint64_t num_types, std::uint64_t max_layers, std::uint64_t seed);
+
+struct LayerRecord {
+  std::uint64_t layer = 0;
+  std::uint64_t alive_before = 0;   // instances that had not won yet
+  std::uint64_t wins = 0;           // fresh locations claimed this layer
+  std::uint64_t marked_after = 0;   // realized marked count (the paper's X)
+  double rate_after = 0.0;          // analytic total rate lambda^{l+1}
+  double rate_bound = 0.0;          // Lemma 6.6 lower bound from lambda^l
+};
+
+struct LayeredResult {
+  std::vector<LayerRecord> layers;
+  std::uint64_t initial_instances = 0;
+  bool bad_initial = false;  // > n instances or a duplicated type (the union
+                             // bound's 1/2 + 1/4 failure events)
+  /// Marked processes still present after the final layer (Theorem 6.1
+  /// wants this > 0 after Omega(log log n) layers, with const probability).
+  [[nodiscard]] std::uint64_t final_marked() const {
+    return layers.empty() ? initial_instances : layers.back().marked_after;
+  }
+};
+
+struct LayeredConfig {
+  std::uint64_t n = 0;           // process budget (theorem's n)
+  std::uint64_t max_layers = 0;  // how many layers to run
+  std::uint64_t seed = 1;
+};
+
+/// Executes the layered construction for `types` under `config`.
+LayeredResult run_layered_execution(const TypeSet& types,
+                                    const LayeredConfig& config);
+
+}  // namespace loren::lb

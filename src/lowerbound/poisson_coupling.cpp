@@ -1,0 +1,40 @@
+#include "lowerbound/poisson_coupling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/poisson.h"
+
+namespace loren::lb {
+
+double coupled_rate(double lambda) noexcept {
+  return std::min(lambda * lambda / 4.0, lambda / 4.0);
+}
+
+std::int64_t first_dominance_violation(double lambda, std::uint64_t n_max,
+                                       double tolerance) {
+  const double gamma = coupled_rate(lambda);
+  for (std::uint64_t n = 0; n <= n_max; ++n) {
+    if (poisson_cdf(lambda, n + 1) > poisson_cdf(gamma, n) + tolerance) {
+      return static_cast<std::int64_t>(n);
+    }
+  }
+  return -1;
+}
+
+CoupledSample sample_coupled(double lambda, Xoshiro256& rng) {
+  const double u = rng.uniform01();
+  CoupledSample s;
+  s.z = poisson_icdf(lambda, u);
+  s.y = poisson_icdf(coupled_rate(lambda), u);
+  return s;
+}
+
+std::uint64_t sample_y_given_z(double lambda, std::uint64_t z, Xoshiro256& rng) {
+  const double lo = z == 0 ? 0.0 : poisson_cdf(lambda, z - 1);
+  const double hi = poisson_cdf(lambda, z);
+  const double u = lo + (hi - lo) * rng.uniform01();
+  return poisson_icdf(coupled_rate(lambda), u);
+}
+
+}  // namespace loren::lb

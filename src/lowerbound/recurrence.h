@@ -1,0 +1,29 @@
+// The rate recurrence of the lower bound (paper Lemma 6.6 and the "Final
+// Argument" of Theorem 6.1), as checkable arithmetic.
+//
+// With s TAS objects per layer and total marked rate lambda^l, Lemma 6.6
+// gives lambda^{l+1} >= (lambda^l)^2 / 4s when lambda^l <= s/2 (and
+// >= lambda^l / 4 otherwise). Normalizing r^l = lambda^l / s yields
+// r^{l+1} >= (r^l)^2 / 4, whose solution stays >= 4/s for
+// l = floor(lg lg s + lg lg(4/r^0)) = Omega(log log n) layers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace loren::lb {
+
+/// One step of Lemma 6.6: the guaranteed lower bound on lambda^{l+1}.
+double rate_step(double lambda, double s) noexcept;
+
+/// The guaranteed trajectory lambda^0..lambda^layers under Lemma 6.6.
+std::vector<double> rate_trajectory(double lambda0, double s, int layers);
+
+/// Number of layers the closed form keeps the expected marked count >= 4:
+/// floor(lg lg(s) + lg lg(4/r0)) with r0 = lambda0/s (paper's choice of l).
+std::uint64_t guaranteed_layers(double lambda0, double s);
+
+/// The paper's final success-probability bound: 1 - 1/2 - 1/4 - e^{-4}.
+double theorem61_success_bound() noexcept;
+
+}  // namespace loren::lb

@@ -1,0 +1,79 @@
+#include "platform/poisson.h"
+
+#include <array>
+#include <cmath>
+
+namespace loren {
+
+double log_factorial(std::uint64_t k) noexcept {
+  // Exact table for the common small cases, lgamma beyond.
+  static constexpr int kTableSize = 32;
+  static const auto table = [] {
+    std::array<double, kTableSize> t{};
+    double acc = 0.0;
+    t[0] = 0.0;
+    for (int i = 1; i < kTableSize; ++i) {
+      acc += std::log(static_cast<double>(i));
+      t[i] = acc;
+    }
+    return t;
+  }();
+  if (k < kTableSize) return table[k];
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double poisson_pmf(double lambda, std::uint64_t k) noexcept {
+  if (lambda <= 0.0) return k == 0 ? 1.0 : 0.0;
+  const double logp = -lambda + static_cast<double>(k) * std::log(lambda) -
+                      log_factorial(k);
+  return std::exp(logp);
+}
+
+double poisson_cdf(double lambda, std::uint64_t n) noexcept {
+  if (lambda <= 0.0) return 1.0;
+  // Stable forward recurrence: term_{k+1} = term_k * lambda / (k+1).
+  // For the rates used in the lower-bound experiments (lambda <= ~2^24 is
+  // never needed; layers shrink rates) this is accurate and fast. For very
+  // large lambda with n far below the mean the result underflows to 0,
+  // which is the correct rounding.
+  double term = std::exp(-lambda);
+  double sum = term;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    term *= lambda / static_cast<double>(k + 1);
+    sum += term;
+    if (term < 1e-300 && static_cast<double>(k) > lambda) break;
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+std::uint64_t poisson_icdf(double lambda, double u) noexcept {
+  if (lambda <= 0.0) return 0;
+  double term = std::exp(-lambda);
+  double sum = term;
+  std::uint64_t k = 0;
+  // Guard: for u extremely close to 1 the loop terminates once term
+  // underflows past the mean; cap the search generously.
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(lambda + 64.0 * std::sqrt(lambda + 1.0) + 64.0);
+  while (sum < u && k < cap) {
+    ++k;
+    term *= lambda / static_cast<double>(k);
+    sum += term;
+  }
+  return k;
+}
+
+std::uint64_t poisson_sample(double lambda, Xoshiro256& rng) noexcept {
+  std::uint64_t total = 0;
+  // Halve until the sequential inversion is cheap and exp(-lambda) is
+  // comfortably inside double range.
+  while (lambda > 30.0) {
+    const double half = lambda / 2.0;
+    total += poisson_icdf(half, rng.uniform01());
+    lambda -= half;
+  }
+  if (lambda > 0.0) total += poisson_icdf(lambda, rng.uniform01());
+  return total;
+}
+
+}  // namespace loren

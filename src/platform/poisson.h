@@ -1,0 +1,37 @@
+// Poisson distribution machinery for the Section 6 lower-bound construction.
+//
+// The lower bound of Alistarh et al. builds layered executions in which the
+// number of marked process instances of each type is Poisson; the coupling
+// gadget (Lemmas 6.4/6.5) needs exact CDF evaluation ("P_lambda(n)" in the
+// paper) and exact-ish sampling, so we provide both with care about
+// numerical range (log-space pmf, stable recurrences).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/rng.h"
+
+namespace loren {
+
+/// Natural log of k! computed via lgamma-style series; exact for small k.
+double log_factorial(std::uint64_t k) noexcept;
+
+/// Poisson pmf  Pr[X = k]  for X ~ Pois(lambda). Computed in log space.
+double poisson_pmf(double lambda, std::uint64_t k) noexcept;
+
+/// Poisson CDF  P_lambda(n) = Pr[X <= n]  for X ~ Pois(lambda).
+/// This is the quantity the paper calls P_lambda(n) in Lemma 6.5.
+double poisson_cdf(double lambda, std::uint64_t n) noexcept;
+
+/// Smallest k with CDF(k) >= u (the generalized inverse CDF). Used to build
+/// monotone couplings between Poisson variables of different rates.
+std::uint64_t poisson_icdf(double lambda, double u) noexcept;
+
+/// Draws X ~ Pois(lambda). Inversion by sequential search for small lambda,
+/// split into halves for large lambda (Pois(a+b) = Pois(a) + Pois(b)), which
+/// keeps the sequential search short without resorting to approximate
+/// rejection samplers — determinism and exactness matter more than speed.
+std::uint64_t poisson_sample(double lambda, Xoshiro256& rng) noexcept;
+
+}  // namespace loren

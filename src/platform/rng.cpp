@@ -1,0 +1,21 @@
+#include "platform/rng.h"
+
+namespace loren {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire (2019): multiply-shift with rejection in the biased zone only.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace loren

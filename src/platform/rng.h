@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// The renaming algorithms in this library are randomized; reproducing the
+// paper's with-high-probability bounds requires (a) per-process independent
+// random streams and (b) bit-for-bit reproducible executions given a seed.
+// We use SplitMix64 for seeding/stream-splitting and xoshiro256** as the
+// per-stream generator (fast, 256-bit state, passes BigCrush).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace loren {
+
+/// SplitMix64: used to expand a single 64-bit seed into independent
+/// sub-seeds. Also a decent standalone generator for one-shot mixing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes two 64-bit values into one (for deriving per-process seeds from a
+/// master seed and a process id without correlation between streams).
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  std::uint64_t a = sm.next();
+  std::uint64_t b = sm.next();
+  return a ^ (b >> 1);
+}
+
+/// xoshiro256**: the per-process generator. Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform draw from {0, ..., bound-1}. bound must be >= 1.
+  /// Uses Lemire's multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace loren

@@ -1,0 +1,143 @@
+#include "platform/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace loren {
+
+namespace {
+
+Summary summarize_sorted(std::vector<double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  const double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  s.min = xs.front();
+  s.max = xs.back();
+  auto interp = [&](double q) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  };
+  s.p50 = interp(0.50);
+  s.p99 = interp(0.99);
+  return s;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  return summarize_sorted(std::vector<double>(xs.begin(), xs.end()));
+}
+
+Summary summarize_u64(std::span<const std::uint64_t> xs) {
+  std::vector<double> v;
+  v.reserve(xs.size());
+  for (auto x : xs) v.push_back(static_cast<double>(x));
+  return summarize_sorted(std::move(v));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile of empty sample");
+  std::sort(xs.begin(), xs.end());
+  const double pos = std::clamp(q, 0.0, 1.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("fit_linear needs two equal-length samples, size >= 2");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += r * r;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double safe_log2(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
+
+double log_log2(double x) { return safe_log2(safe_log2(x)); }
+
+double chi_square(std::span<const double> observed, std::span<const double> expected,
+                  double min_expected) {
+  if (observed.size() != expected.size()) {
+    throw std::invalid_argument("chi_square: size mismatch");
+  }
+  double stat = 0.0;
+  double obs_acc = 0.0, exp_acc = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    obs_acc += observed[i];
+    exp_acc += expected[i];
+    if (exp_acc >= min_expected || i + 1 == observed.size()) {
+      if (exp_acc > 0.0) {
+        stat += (obs_acc - exp_acc) * (obs_acc - exp_acc) / exp_acc;
+      }
+      obs_acc = exp_acc = 0.0;
+    }
+  }
+  return stat;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("correlation needs two equal-length samples");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+std::string markdown_row(const std::vector<std::string>& cells) {
+  std::string row = "|";
+  for (const auto& c : cells) {
+    row += ' ';
+    row += c;
+    row += " |";
+  }
+  return row;
+}
+
+}  // namespace loren

@@ -1,0 +1,56 @@
+// Descriptive statistics and fitting helpers used by the benchmark harness
+// and the property tests (e.g. "max steps grows like log log n" checks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace loren {
+
+/// Summary of a sample: the quantities the experiment tables report.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+Summary summarize_u64(std::span<const std::uint64_t> xs);
+
+/// Quantile by linear interpolation on the sorted sample; q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+/// Least-squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// log2 and iterated log2 on doubles, guarded for arguments <= 1 where the
+/// paper's asymptotic expressions (log log n) would be degenerate.
+double safe_log2(double x);
+double log_log2(double x);
+
+/// Pearson chi-square statistic for observed vs expected counts.
+/// Bins with expected < min_expected are merged into their neighbor.
+double chi_square(std::span<const double> observed, std::span<const double> expected,
+                  double min_expected = 5.0);
+
+/// Sample Pearson correlation of two equal-length samples (independence
+/// sanity checks for the coupling gadget).
+double correlation(std::span<const double> x, std::span<const double> y);
+
+/// Renders one row of a Markdown table; used by the bench harness so every
+/// experiment prints uniformly formatted output.
+std::string markdown_row(const std::vector<std::string>& cells);
+
+}  // namespace loren

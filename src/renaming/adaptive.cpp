@@ -1,0 +1,40 @@
+#include "renaming/adaptive.h"
+
+namespace loren {
+
+using sim::Env;
+using sim::Name;
+using sim::Task;
+
+Task<Name> AdaptiveReBatching::get_name(Env& env) {
+  // Phase 1: doubling race over R_1, R_2, R_4, R_8, ...
+  std::uint64_t ell = 0;
+  Name u = -1;
+  for (;; ++ell) {
+    const std::uint64_t idx = std::uint64_t{1} << ell;
+    if (idx > stack_.max_index()) co_return -1;  // see Options docs
+    u = co_await stack_.object(idx).get_name(env);
+    if (u != -1) break;
+  }
+  if (ell == 0) co_return u;
+
+  // Phase 2: binary search on R_{2^(ell-1)+1} .. R_{2^ell} for the
+  // smallest-index object that still yields a name. The invariant is the
+  // paper's: b is "hard" (we hold a name from R_b), a is "weak".
+  std::uint64_t a = (std::uint64_t{1} << (ell - 1)) + 1;
+  std::uint64_t b = std::uint64_t{1} << ell;
+  Name from_b = u;
+  while (a < b) {
+    const std::uint64_t d = (a + b) / 2;
+    const Name v = co_await stack_.object(d).get_name(env);
+    if (v != -1) {
+      b = d;
+      from_b = v;
+    } else {
+      a = d + 1;
+    }
+  }
+  co_return from_b;
+}
+
+}  // namespace loren

@@ -1,0 +1,47 @@
+// AdaptiveReBatching (paper Section 5.1).
+//
+// Renaming when neither n nor the contention k is known. The algorithm
+// stacks ReBatching objects R_1, R_2, ... where R_i serves a namespace of
+// size ~(1+eps)*2^i (see object_stack.h). A process
+//   1. races through R_{2^l} for l = 0, 1, ... until some GetName succeeds
+//      (each call is a full batched walk, with the backup phase *disabled*),
+//   2. binary-searches R_{2^(l-1)+1} .. R_{2^l} for the smallest-indexed
+//      object it can still win a name in.
+// W.h.p. the final name is O(k) and the process takes O((log log k)^2)
+// steps (Theorem 5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "renaming/object_stack.h"
+
+namespace loren {
+
+class AdaptiveReBatching {
+ public:
+  struct Options {
+    BatchLayoutParams layout{};  // epsilon defaults to 1.0
+    sim::Location base = 0;
+    /// Safety valve: the largest object index the doubling race may touch.
+    /// R_i holds ~(1+eps)*2^i cells, so unbounded growth would exhaust
+    /// memory long before the w.h.p. guarantees let the race get there. A
+    /// process that somehow fails beyond this bound returns -1.
+    std::uint64_t max_object_index = 26;
+  };
+
+  AdaptiveReBatching() : AdaptiveReBatching(Options{}) {}
+  explicit AdaptiveReBatching(Options options)
+      : stack_(options.layout, options.base, options.max_object_index) {}
+
+  /// Returns a unique name of value O(k) w.h.p., k = number of processes
+  /// that ever invoke this.
+  sim::Task<sim::Name> get_name(sim::Env& env);
+
+  [[nodiscard]] ReBatchingStack& stack() { return stack_; }
+  [[nodiscard]] const ReBatchingStack& stack() const { return stack_; }
+
+ private:
+  ReBatchingStack stack_;
+};
+
+}  // namespace loren

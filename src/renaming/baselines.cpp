@@ -1,0 +1,51 @@
+#include "renaming/baselines.h"
+
+#include <cmath>
+
+namespace loren {
+
+using sim::Env;
+using sim::Name;
+using sim::Task;
+
+Task<Name> uniform_probing(Env& env, std::uint64_t m, sim::Location base) {
+  env.ensure_locations(base + m);
+  for (;;) {
+    const std::uint64_t x = env.random_below(m);
+    if (co_await sim::tas(env, base + x)) {
+      co_return static_cast<Name>(base + x);
+    }
+  }
+}
+
+Task<Name> linear_scan(Env& env, std::uint64_t m, sim::Location base) {
+  env.ensure_locations(base + m);
+  const std::uint64_t start = env.random_below(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t x = (start + i) % m;
+    if (co_await sim::tas(env, base + x)) {
+      co_return static_cast<Name>(base + x);
+    }
+  }
+  co_return -1;  // more processes than names; cannot happen when m >= n
+}
+
+Task<Name> doubling_uniform(Env& env, double epsilon, int probes_per_level,
+                            std::uint64_t max_levels, sim::Location base) {
+  sim::Location level_base = base;
+  for (std::uint64_t level = 0; level < max_levels; ++level) {
+    const auto size = static_cast<std::uint64_t>(
+        std::ceil((1.0 + epsilon) * std::exp2(static_cast<double>(level))));
+    env.ensure_locations(level_base + size);
+    for (int j = 0; j < probes_per_level; ++j) {
+      const std::uint64_t x = env.random_below(size);
+      if (co_await sim::tas(env, level_base + x)) {
+        co_return static_cast<Name>(level_base + x);
+      }
+    }
+    level_base += size;
+  }
+  co_return -1;
+}
+
+}  // namespace loren

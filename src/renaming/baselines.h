@@ -1,0 +1,42 @@
+// Baseline renaming algorithms the paper's analysis compares against.
+//
+// * uniform_probing — the strawman from Section 4: "if processes do just
+//   uniform random probes among all objects, then with probability 1-o(1)
+//   some process will have to do Omega(log n) probes before it acquires a
+//   name". Experiment E4 reproduces exactly this separation.
+// * linear_scan — classic deterministic fallback: start at a uniformly
+//   random location, claim the first free object scanning upward (mod m).
+//   Good average, Theta(n)-ish tails under contention bursts.
+// * doubling_uniform — adaptive strawman: uniform probing over a namespace
+//   that doubles after every c failed probes; the natural "guess k" scheme
+//   AdaptiveReBatching is measured against in E5.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/env.h"
+#include "sim/runner.h"
+#include "sim/task.h"
+
+namespace loren {
+
+/// Repeated single uniform probes over m = namespace size locations.
+/// Always terminates (some probe eventually hits a free slot as long as
+/// fewer than m names are taken), but the tail is logarithmic.
+sim::Task<sim::Name> uniform_probing(sim::Env& env, std::uint64_t m,
+                                     sim::Location base = 0);
+
+/// One random probe, then linear scan; at most m + 1 steps, name unique.
+sim::Task<sim::Name> linear_scan(sim::Env& env, std::uint64_t m,
+                                 sim::Location base = 0);
+
+/// Adaptive baseline: level l has a fresh namespace of size
+/// ceil((1+eps)*2^l); a process performs `probes_per_level` uniform probes
+/// on level l and escalates. Name values O(k) in expectation but with a
+/// heavier tail and more steps than AdaptiveReBatching.
+sim::Task<sim::Name> doubling_uniform(sim::Env& env, double epsilon,
+                                      int probes_per_level,
+                                      std::uint64_t max_levels = 40,
+                                      sim::Location base = 0);
+
+}  // namespace loren

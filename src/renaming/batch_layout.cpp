@@ -1,0 +1,70 @@
+#include "renaming/batch_layout.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace loren {
+
+namespace {
+
+std::uint64_t ceil_log2_log2(std::uint64_t n) {
+  // kappa = ceil(log2 log2 n); 0 for n <= 2 (log2 log2 degenerates).
+  if (n <= 2) return 0;
+  const double ll = std::log2(std::log2(static_cast<double>(n)));
+  const auto k = static_cast<std::uint64_t>(std::ceil(ll - 1e-12));
+  return k;
+}
+
+}  // namespace
+
+BatchLayout::BatchLayout(std::uint64_t n, const BatchLayoutParams& params)
+    : n_(n), params_(params) {
+  if (n == 0) throw std::invalid_argument("BatchLayout: n must be >= 1");
+  if (params.epsilon <= 0.0) {
+    throw std::invalid_argument("BatchLayout: epsilon must be > 0");
+  }
+  if (params.beta < 1) throw std::invalid_argument("BatchLayout: beta >= 1");
+
+  const double eps = params.epsilon;
+  const std::uint64_t kappa = ceil_log2_log2(n);
+
+  // Eq. (1): b_0 = n, b_i = ceil(eps*n / 2^i).
+  sizes_.reserve(kappa + 1);
+  sizes_.push_back(n);
+  for (std::uint64_t i = 1; i <= kappa; ++i) {
+    const double b = eps * static_cast<double>(n) / std::exp2(static_cast<double>(i));
+    sizes_.push_back(static_cast<std::uint64_t>(std::ceil(b)));
+  }
+
+  offsets_.reserve(sizes_.size());
+  for (std::uint64_t s : sizes_) {
+    offsets_.push_back(total_);
+    total_ += s;
+  }
+
+  // Eq. (2): t_0 = ceil(17 ln(8e/eps) / eps), t_i = 1, t_kappa = beta.
+  const int t0 =
+      params.t0_override > 0
+          ? params.t0_override
+          : static_cast<int>(std::ceil(17.0 * std::log(8.0 * std::exp(1.0) / eps) / eps));
+  probes_.assign(sizes_.size(), 1);
+  probes_.front() = t0;
+  probes_.back() = kappa == 0 ? std::max(t0, params.beta) : params.beta;
+  for (int t : probes_) probe_sum_ += t;
+}
+
+double BatchLayout::survivor_bound(std::uint64_t i, double delta) const {
+  if (i == 0 || i > kappa()) {
+    throw std::out_of_range("survivor_bound defined for 1 <= i <= kappa");
+  }
+  const auto nd = static_cast<double>(n_);
+  if (i == kappa()) {
+    const double lg = std::log2(nd);
+    return lg * lg;
+  }
+  const double exponent = std::exp2(static_cast<double>(i)) +
+                          static_cast<double>(i) + delta;
+  return params_.epsilon * nd / std::exp2(exponent);
+}
+
+}  // namespace loren

@@ -1,0 +1,116 @@
+#include "renaming/concurrent.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace loren {
+
+using sim::Name;
+
+namespace {
+
+BatchLayoutParams with_epsilon(BatchLayoutParams p, double epsilon) {
+  p.epsilon = epsilon;
+  return p;
+}
+
+}  // namespace
+
+ConcurrentRenamer::ConcurrentRenamer(std::uint64_t n, double epsilon,
+                                     std::uint64_t seed,
+                                     BatchLayoutParams extra)
+    : seed_(seed),
+      cells_(BatchLayout(n, with_epsilon(extra, epsilon)).total()),
+      algo_(n, ReBatching::Options{.layout = with_epsilon(extra, epsilon)}) {}
+
+Name ConcurrentRenamer::get_name() {
+  DirectEnv env(cells_, seed_,
+                ticket_.fetch_add(1, std::memory_order_relaxed));
+  const Name name = sim::run_sync(algo_.get_name(env));
+  if (name >= 0) assigned_.fetch_add(1, std::memory_order_relaxed);
+  return name;
+}
+
+Name ConcurrentRenamer::get_name_direct() {
+  Xoshiro256 rng(mix_seed(seed_, ticket_.fetch_add(1, std::memory_order_relaxed)));
+  const BatchLayout& L = algo_.layout();
+  for (std::uint64_t i = 0; i < L.num_batches(); ++i) {
+    const std::uint64_t b = L.size(i);
+    const int t = L.probes(i);
+    for (int j = 0; j < t; ++j) {
+      const std::uint64_t x = L.offset(i) + rng.below(b);
+      if (cells_.test_and_set(x)) {
+        assigned_.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<Name>(x);
+      }
+    }
+  }
+  for (std::uint64_t u = 0; u < L.total(); ++u) {  // backup sweep
+    if (cells_.test_and_set(u)) {
+      assigned_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<Name>(u);
+    }
+  }
+  return -1;
+}
+
+void ConcurrentRenamer::release(sim::Name name) {
+  if (name < 0 || static_cast<std::uint64_t>(name) >= cells_.size() ||
+      cells_.read(static_cast<std::uint64_t>(name)) == 0) {
+    throw std::invalid_argument("release: name is not currently held");
+  }
+  assigned_.fetch_sub(1, std::memory_order_relaxed);
+  cells_.write(static_cast<std::uint64_t>(name), 0);
+}
+
+namespace {
+
+/// Cells needed so the adaptive stack can reach objects large enough for
+/// max_contention: the doubling race stops at R_i with 2^i >= k w.h.p., and
+/// we add two doubling levels of headroom.
+std::uint64_t adaptive_capacity(std::uint64_t max_contention, double epsilon) {
+  std::uint64_t top = 1;
+  while ((std::uint64_t{1} << top) < max_contention) ++top;
+  // The race touches power-of-two indices only; round up to one.
+  std::uint64_t race_top = 1;
+  while (race_top < top) race_top <<= 1;
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 1; i <= race_top; ++i) {
+    total += BatchLayout(std::uint64_t{1} << i, epsilon).total();
+  }
+  return total;
+}
+
+}  // namespace
+
+AdaptiveConcurrentRenamer::AdaptiveConcurrentRenamer(
+    std::uint64_t max_contention, double epsilon, std::uint64_t seed)
+    : seed_(seed),
+      cells_(adaptive_capacity(max_contention, epsilon)),
+      algo_(AdaptiveReBatching::Options{.layout = {.epsilon = epsilon}}) {
+  if (max_contention == 0) {
+    throw std::invalid_argument("max_contention must be >= 1");
+  }
+}
+
+std::optional<Name> AdaptiveConcurrentRenamer::try_get_name() {
+  DirectEnv env(cells_, seed_,
+                ticket_.fetch_add(1, std::memory_order_relaxed));
+  try {
+    const Name name = sim::run_sync(algo_.get_name(env));
+    if (name < 0) return std::nullopt;
+    return name;
+  } catch (const std::length_error&) {
+    // The doubling race outgrew the preallocated cells: contention exceeded
+    // max_contention by far more than the w.h.p. slack.
+    return std::nullopt;
+  }
+}
+
+Name AdaptiveConcurrentRenamer::get_name() {
+  if (auto name = try_get_name()) return *name;
+  throw std::runtime_error(
+      "AdaptiveConcurrentRenamer: contention exceeded configured capacity");
+}
+
+}  // namespace loren

@@ -1,0 +1,85 @@
+// Thread-facing public API: loose renaming for real concurrent programs.
+//
+// These wrappers run the exact coroutine algorithms from this library over
+// std::atomic cells (DirectEnv), so the code paths measured against the
+// simulated adversaries are the code paths that execute on hardware. A
+// hand-inlined non-coroutine fast path is provided for the E10 overhead
+// ablation and for users who want the minimal-latency variant.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   loren::ConcurrentRenamer renamer(max_threads, /*epsilon=*/0.5);
+//   ...in each thread...
+//   loren::sim::Name id = renamer.get_name();   // unique in [0, capacity)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "renaming/adaptive.h"
+#include "renaming/rebatching.h"
+#include "tas/atomic_tas.h"
+
+namespace loren {
+
+/// Non-adaptive renaming: n known in advance, names in [0, capacity()).
+/// All methods except the constructor are safe to call concurrently.
+class ConcurrentRenamer {
+ public:
+  explicit ConcurrentRenamer(std::uint64_t n, double epsilon = 0.5,
+                             std::uint64_t seed = 0x10053,
+                             BatchLayoutParams extra = {});
+
+  /// Wait-free unique name; log log n + O(1) shared-memory steps w.h.p.
+  sim::Name get_name();
+
+  /// Same algorithm, hand-inlined (no coroutine frames, no virtual Env).
+  sim::Name get_name_direct();
+
+  /// Returns `name` to the namespace so later get_name calls can claim it
+  /// again (long-lived renaming, cf. [16, 20] in the paper). The paper's
+  /// w.h.p. step bounds are proved for the one-shot problem; with
+  /// release/reacquire they hold per acquisition as long as at most n
+  /// names are live at any moment. Releasing a name not currently held is
+  /// undefined behaviour (checked: throws when the cell was never won).
+  void release(sim::Name name);
+
+  [[nodiscard]] std::uint64_t capacity() const { return algo_.layout().total(); }
+  [[nodiscard]] const BatchLayout& layout() const { return algo_.layout(); }
+  [[nodiscard]] std::uint64_t names_assigned() const {
+    return assigned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t seed_;
+  AtomicTasArray cells_;
+  ReBatching algo_;
+  std::atomic<std::uint32_t> ticket_{0};  // distinct rng stream per call
+  std::atomic<std::uint64_t> assigned_{0};
+};
+
+/// Adaptive renaming: contention k unknown; names are O(k) w.h.p. Capacity
+/// is bounded by `max_contention` (the largest k the preallocated cells can
+/// serve; the paper's unbounded-space construction truncated for practice).
+class AdaptiveConcurrentRenamer {
+ public:
+  explicit AdaptiveConcurrentRenamer(std::uint64_t max_contention,
+                                     double epsilon = 1.0,
+                                     std::uint64_t seed = 0x10053);
+
+  /// Unique name of value O(k) w.h.p.; empty only beyond max_contention.
+  std::optional<sim::Name> try_get_name();
+  /// Convenience: throws std::runtime_error when try_get_name is empty.
+  sim::Name get_name();
+
+  [[nodiscard]] std::uint64_t capacity() const { return cells_.size(); }
+
+ private:
+  std::uint64_t seed_;
+  AtomicTasArray cells_;
+  AdaptiveReBatching algo_;
+  std::atomic<std::uint32_t> ticket_{0};
+};
+
+}  // namespace loren

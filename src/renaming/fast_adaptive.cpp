@@ -1,0 +1,49 @@
+#include "renaming/fast_adaptive.h"
+
+namespace loren {
+
+using sim::Env;
+using sim::Name;
+using sim::Task;
+
+Task<Name> FastAdaptiveReBatching::search(Env& env, std::uint64_t a,
+                                          std::uint64_t b, Name u,
+                                          std::uint64_t t) {
+  // Line 11: enough TryGetName calls on R_a already; a is confirmed.
+  if (t > kappa(a)) co_return u;
+  // Line 12: one more probe round on R_a.
+  const Name u_prime = co_await stack_.object(a).try_get_name(env, t);
+  if (u_prime != -1) co_return u_prime;  // line 13
+  // Line 14: split the index range (a, b] at its median.
+  const std::uint64_t d = (a + b + 1) / 2;  // ceil((a+b)/2)
+  // Line 15: first improve the upper bound within (d, b].
+  if (d < b) u = co_await search(env, d, b, u, 0);
+  // Line 16: if the name is now from R_d, d is the new hard upper bound;
+  // keep working on (a, d] with one more visit to R_a accounted for.
+  if (stack_.object_index_of(u) == d) {
+    u = co_await search(env, a, d, u, t + 1);
+  }
+  co_return u;  // line 17
+}
+
+Task<Name> FastAdaptiveReBatching::get_name(Env& env) {
+  // Lines 1-5: race upward with a single batch-0 probe round per object.
+  std::uint64_t ell = 0;
+  Name u = -1;
+  for (;; ++ell) {
+    const std::uint64_t idx = std::uint64_t{1} << ell;
+    if (idx > stack_.max_index()) co_return -1;
+    u = co_await stack_.object(idx).try_get_name(env, 0);
+    if (u != -1) break;
+  }
+  // Lines 6-9: walk back down while the name still comes from R_{2^ell}.
+  while (ell >= 1 &&
+         stack_.object_index_of(u) == (std::uint64_t{1} << ell)) {
+    u = co_await search(env, std::uint64_t{1} << (ell - 1),
+                        std::uint64_t{1} << ell, u, 1);
+    --ell;
+  }
+  co_return u;
+}
+
+}  // namespace loren

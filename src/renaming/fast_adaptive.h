@@ -1,0 +1,58 @@
+// FastAdaptiveReBatching (paper Section 5.2, Figure 2).
+//
+// Same namespace guarantee as AdaptiveReBatching (names O(k) w.h.p.) but
+// total step complexity O(k log log k) w.h.p. instead of
+// Theta(k (log log k)^2). The trick: instead of running a full GetName on
+// every object visited during the binary search, a process performs a
+// *single* TryGetName per visit and pipelines its probes across objects via
+// the recursive Search(a, b, u, t) walk over the implicit binary search
+// tree of R_1, R_2, ... — revisiting an object with the next batch index
+// each time. The paper fixes eps = 1 for this algorithm (R_i's namespace
+// has size 2*n_i = 2^(i+1)).
+#pragma once
+
+#include <cstdint>
+
+#include "renaming/object_stack.h"
+
+namespace loren {
+
+class FastAdaptiveReBatching {
+ public:
+  struct Options {
+    /// Figure 2 requires eps = 1; beta/t0 stay tunable.
+    int beta = 3;
+    int t0_override = 0;
+    sim::Location base = 0;
+    std::uint64_t max_object_index = 26;  // same safety valve as adaptive.h
+  };
+
+  FastAdaptiveReBatching() : FastAdaptiveReBatching(Options{}) {}
+  explicit FastAdaptiveReBatching(Options options)
+      : stack_({.epsilon = 1.0, .beta = options.beta,
+                .t0_override = options.t0_override},
+               options.base, options.max_object_index) {}
+
+  /// Figure 2, GetName(): doubling race with single TryGetName(0) calls,
+  /// then the recursive Search descent. Name value O(k) w.h.p.
+  sim::Task<sim::Name> get_name(sim::Env& env);
+
+  [[nodiscard]] ReBatchingStack& stack() { return stack_; }
+  [[nodiscard]] const ReBatchingStack& stack() const { return stack_; }
+
+ private:
+  /// Figure 2, Search(a, b, u, t). Preconditions (paper): a < b, u is a
+  /// name already acquired from R_b, and this process has already executed
+  /// TryGetName(j) on R_a for j = 0..t-1.
+  sim::Task<sim::Name> search(sim::Env& env, std::uint64_t a, std::uint64_t b,
+                              sim::Name u, std::uint64_t t);
+
+  /// kappa(i) = max batch index of R_i (= ceil(log2 i), since n_i = 2^i).
+  [[nodiscard]] std::uint64_t kappa(std::uint64_t i) {
+    return stack_.object(i).layout().kappa();
+  }
+
+  ReBatchingStack stack_;
+};
+
+}  // namespace loren

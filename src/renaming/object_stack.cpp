@@ -1,0 +1,51 @@
+#include "renaming/object_stack.h"
+
+#include <stdexcept>
+
+namespace loren {
+
+ReBatchingStack::ReBatchingStack(BatchLayoutParams layout, sim::Location base,
+                                 std::uint64_t max_index)
+    : layout_(layout), base_(base), max_index_(max_index) {
+  if (max_index_ < 1 || max_index_ > 40) {
+    throw std::invalid_argument("ReBatchingStack max_index must be in [1, 40]");
+  }
+}
+
+ReBatching& ReBatchingStack::object(std::uint64_t i) {
+  if (i < 1 || i > max_index_) {
+    throw std::out_of_range("ReBatchingStack object index");
+  }
+  std::scoped_lock lock(mu_);
+  while (objects_.size() < i) {
+    const std::uint64_t next = objects_.size() + 1;  // creating R_next
+    ReBatching::Options opts;
+    opts.layout = layout_;
+    opts.base = ends_.empty() ? base_ : ends_.back();
+    opts.backup = false;  // Section 5: GetName may return -1
+    objects_.push_back(
+        std::make_unique<ReBatching>(std::uint64_t{1} << next, opts));
+    ends_.push_back(objects_.back()->end());
+  }
+  return *objects_[i - 1];
+}
+
+std::uint64_t ReBatchingStack::object_index_of(sim::Name name) const {
+  std::scoped_lock lock(mu_);
+  if (name < 0) return 0;
+  const auto loc = static_cast<sim::Location>(name);
+  for (std::uint64_t i = 0; i < ends_.size(); ++i) {
+    if (loc < ends_[i]) {
+      const sim::Location begin = i == 0 ? base_ : ends_[i - 1];
+      return loc >= begin ? i + 1 : 0;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t ReBatchingStack::instantiated() const {
+  std::scoped_lock lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace loren

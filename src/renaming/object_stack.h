@@ -1,0 +1,46 @@
+// A lazily instantiated stack of ReBatching objects R_1, R_2, ... with
+// consecutive namespaces, shared by both adaptive algorithms (Section 5).
+//
+// R_i renames n_i = 2^i processes into a namespace of size m_i ~ (1+eps)2^i
+// occupying locations [s_i, s_i + m_i), s_i = sum_{j<i} m_j. Objects are
+// created on first touch (thread-safe), so the stack is conceptually
+// unbounded as the paper requires, while memory stays proportional to the
+// largest object actually probed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "renaming/rebatching.h"
+
+namespace loren {
+
+class ReBatchingStack {
+ public:
+  ReBatchingStack(BatchLayoutParams layout, sim::Location base,
+                  std::uint64_t max_index);
+
+  /// Object R_i, 1-based; creates R_1..R_i on first touch. Throws if i is 0
+  /// or exceeds max_index (callers guard; see AdaptiveReBatching::Options).
+  ReBatching& object(std::uint64_t i);
+
+  /// Index i such that `name` is in R_i's namespace; 0 when name < 0 or no
+  /// instantiated object owns it. This is the paper's "u ∈ R_i" test.
+  [[nodiscard]] std::uint64_t object_index_of(sim::Name name) const;
+
+  [[nodiscard]] std::uint64_t max_index() const { return max_index_; }
+  [[nodiscard]] sim::Location base() const { return base_; }
+  [[nodiscard]] std::uint64_t instantiated() const;
+
+ private:
+  BatchLayoutParams layout_;
+  sim::Location base_;
+  std::uint64_t max_index_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ReBatching>> objects_;  // objects_[i-1] == R_i
+  std::vector<sim::Location> ends_;
+};
+
+}  // namespace loren

@@ -1,0 +1,56 @@
+#include "renaming/rebatching.h"
+
+namespace loren {
+
+using sim::Env;
+using sim::Name;
+using sim::Task;
+
+ReBatching::ReBatching(std::uint64_t n, Options options)
+    : layout_(n, options.layout),
+      base_(options.base),
+      backup_(options.backup),
+      service_(options.service) {}
+
+Task<bool> ReBatching::probe(Env& env, std::uint64_t logical) {
+  if (service_ != nullptr) {
+    co_return co_await service_->acquire(env, base_ + logical);
+  }
+  co_return co_await sim::tas(env, base_ + logical);
+}
+
+Task<Name> ReBatching::try_get_name(Env& env, std::uint64_t batch) {
+  if (stats_ != nullptr) ++stats_->entered[batch];
+  const std::uint64_t b = layout_.size(batch);
+  const int t = layout_.probes(batch);
+  for (int j = 0; j < t; ++j) {
+    const std::uint64_t x = env.random_below(b);
+    const std::uint64_t logical = layout_.offset(batch) + x;
+    if (co_await probe(env, logical)) {
+      co_return static_cast<Name>(base_ + logical);
+    }
+  }
+  if (stats_ != nullptr) ++stats_->failed[batch];
+  co_return -1;
+}
+
+Task<Name> ReBatching::get_name(Env& env) {
+  // In service mode the service's creator sized the cell region; here we
+  // only own the hardware-cell layout.
+  if (service_ == nullptr) env.ensure_locations(end());
+  for (std::uint64_t i = 0; i < layout_.num_batches(); ++i) {
+    const Name u = co_await try_get_name(env, i);
+    if (u != -1) co_return u;
+  }
+  if (backup_) {
+    // Figure 1 lines 5-7: deterministic sweep; reached with probability
+    // 1/n^(beta-o(1)) but indispensable for worst-case termination.
+    if (stats_ != nullptr) ++stats_->backup_entries;
+    for (std::uint64_t u = 0; u < layout_.total(); ++u) {
+      if (co_await probe(env, u)) co_return static_cast<Name>(base_ + u);
+    }
+  }
+  co_return -1;
+}
+
+}  // namespace loren

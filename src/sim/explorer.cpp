@@ -1,0 +1,243 @@
+#include "sim/explorer.h"
+
+#include <optional>
+#include <stdexcept>
+
+namespace loren::sim {
+
+namespace {
+
+/// Thrown out of random_below when the replay reaches an unscripted coin;
+/// it unwinds the coroutine stack (ending up stored in the top task, which
+/// is discarded with the whole path) and the driver reads `needed_arity`.
+struct NeedCoin {};
+
+/// Non-immediate Env whose coins come from the decision script.
+class ExplorerEnv final : public Env {
+ public:
+  explicit ExplorerEnv(ProcessId n) : pending_(n) {}
+
+  [[nodiscard]] bool immediate() const override { return false; }
+
+  std::uint64_t execute_now(OpKind, Location, std::uint64_t) override {
+    throw std::logic_error("ExplorerEnv does not execute immediately");
+  }
+
+  void post(PendingOp op) override {
+    if (pending_[current_].has_value()) {
+      throw std::logic_error("double post in explorer");
+    }
+    pending_[current_] = op;
+  }
+
+  std::uint64_t random_below(std::uint64_t bound) override {
+    if (bound <= 1) return 0;
+    if (bound > 16) {
+      throw std::invalid_argument(
+          "explorer: coin arity > 16 is not exhaustively explorable");
+    }
+    if (cursor_ < script_->size()) {
+      const std::uint64_t c = (*script_)[cursor_++];
+      return c < bound ? c : bound - 1;
+    }
+    needed_arity_ = static_cast<std::uint32_t>(bound);
+    throw NeedCoin{};
+  }
+
+  void ensure_locations(std::uint64_t count) override {
+    if (cells_.size() < count) cells_.resize(count, 0);
+  }
+
+  [[nodiscard]] ProcessId current_pid() const override { return current_; }
+
+  // --- driver interface ---------------------------------------------------
+  void bind_script(const std::vector<std::uint32_t>* script) {
+    script_ = script;
+    cursor_ = 0;
+    needed_arity_ = 0;
+  }
+  /// Consumes a scheduling decision; returns nullopt when unscripted.
+  std::optional<std::uint32_t> take_schedule_decision(std::uint32_t arity) {
+    if (cursor_ < script_->size()) {
+      const std::uint32_t c = (*script_)[cursor_++];
+      return c < arity ? c : arity - 1;
+    }
+    needed_arity_ = arity;
+    return std::nullopt;
+  }
+
+  void set_current(ProcessId pid) { current_ = pid; }
+  [[nodiscard]] bool has_pending(ProcessId pid) const {
+    return pending_[pid].has_value();
+  }
+  PendingOp take_pending(ProcessId pid) {
+    PendingOp op = *pending_[pid];
+    pending_[pid].reset();
+    return op;
+  }
+  std::uint64_t execute(const PendingOp& op) {
+    if (op.loc >= cells_.size()) cells_.resize(op.loc + 1, 0);
+    std::uint64_t outcome = 0;
+    switch (op.kind) {
+      case OpKind::kTas:
+        outcome = cells_[op.loc] == 0 ? 1 : 0;
+        cells_[op.loc] = 1;
+        break;
+      case OpKind::kRead:
+        outcome = cells_[op.loc];
+        break;
+      case OpKind::kWrite:
+        cells_[op.loc] = op.write_value;
+        break;
+    }
+    if (op.result != nullptr) *op.result = outcome;
+    return outcome;
+  }
+
+  [[nodiscard]] std::uint32_t needed_arity() const { return needed_arity_; }
+  [[nodiscard]] std::uint64_t decisions_used() const { return cursor_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& cells() const {
+    return cells_;
+  }
+
+ private:
+  std::vector<std::optional<PendingOp>> pending_;
+  std::vector<std::uint64_t> cells_;
+  const std::vector<std::uint32_t>* script_ = nullptr;
+  std::uint64_t cursor_ = 0;
+  std::uint32_t needed_arity_ = 0;
+  ProcessId current_ = 0;
+};
+
+struct ReplayResult {
+  enum class Kind { kCompleted, kNeedDecision, kOutOfSteps } kind =
+      Kind::kCompleted;
+  std::uint32_t arity = 0;  // for kNeedDecision
+  PathOutcome outcome;      // for kCompleted
+};
+
+ReplayResult replay(const std::function<Task<Name>(Env&, ProcessId)>& factory,
+                    ProcessId n, const std::vector<std::uint32_t>& script,
+                    std::uint64_t max_steps) {
+  ExplorerEnv env(n);
+  env.bind_script(&script);
+  std::vector<Task<Name>> tasks;
+  tasks.reserve(n);
+  std::vector<bool> finished(n, false);
+  std::vector<Name> names(n, -1);
+
+  auto need = [&]() {
+    ReplayResult r;
+    r.kind = ReplayResult::Kind::kNeedDecision;
+    r.arity = env.needed_arity();
+    return r;
+  };
+
+  // Start phase: run each process to its first shared-memory op. Coins
+  // consumed here are decision points like any other.
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    env.set_current(pid);
+    try {
+      tasks.push_back(factory(env, pid));
+      tasks.back().resume();
+    } catch (const NeedCoin&) {
+      return need();
+    }
+    if (tasks[pid].done()) {
+      try {
+        names[pid] = tasks[pid].result();
+      } catch (const NeedCoin&) {
+        return need();
+      }
+      finished[pid] = true;
+    }
+  }
+
+  std::uint64_t steps = 0;
+  for (;;) {
+    if (++steps > max_steps) {
+      ReplayResult r;
+      r.kind = ReplayResult::Kind::kOutOfSteps;
+      return r;
+    }
+    std::vector<ProcessId> runnable;
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (env.has_pending(pid)) runnable.push_back(pid);
+    }
+    if (runnable.empty()) break;
+
+    ProcessId pick = runnable.front();
+    if (runnable.size() > 1) {
+      const auto decision =
+          env.take_schedule_decision(static_cast<std::uint32_t>(runnable.size()));
+      if (!decision.has_value()) return need();
+      pick = runnable[*decision];
+    }
+    const PendingOp op = env.take_pending(pick);
+    env.set_current(pick);
+    env.execute(op);
+    op.resume.resume();
+    if (tasks[pick].done()) {
+      try {
+        names[pick] = tasks[pick].result();
+        finished[pick] = true;
+      } catch (const NeedCoin&) {
+        return need();
+      }
+    }
+  }
+
+  ReplayResult r;
+  r.kind = ReplayResult::Kind::kCompleted;
+  r.outcome.names = std::move(names);
+  r.outcome.finished = std::move(finished);
+  r.outcome.memory = env.cells();
+  r.outcome.decisions_used = env.decisions_used();
+  return r;
+}
+
+}  // namespace
+
+ExploreResult explore(
+    const std::function<Task<Name>(Env&, ProcessId)>& factory,
+    const ExploreConfig& config,
+    const std::function<bool(const PathOutcome&)>& check) {
+  ExploreResult result;
+  std::vector<std::uint32_t> script;
+  const std::uint64_t max_steps =
+      config.max_steps_per_path != 0
+          ? config.max_steps_per_path
+          : 64 + 8ULL * config.max_decisions;
+
+  const std::function<void()> dfs = [&] {
+    if (result.paths_completed + result.paths_truncated >= config.max_paths) {
+      result.hit_path_cap = true;
+      return;
+    }
+    const ReplayResult r =
+        replay(factory, config.num_processes, script, max_steps);
+    if (r.kind == ReplayResult::Kind::kOutOfSteps) {
+      ++result.paths_truncated;
+      return;
+    }
+    if (r.kind == ReplayResult::Kind::kCompleted) {
+      ++result.paths_completed;
+      if (!check(r.outcome)) ++result.violations;
+      return;
+    }
+    if (script.size() >= config.max_decisions) {
+      ++result.paths_truncated;
+      return;
+    }
+    for (std::uint32_t c = 0; c < r.arity; ++c) {
+      script.push_back(c);
+      dfs();
+      script.pop_back();
+      if (result.hit_path_cap) return;
+    }
+  };
+  dfs();
+  return result;
+}
+
+}  // namespace loren::sim

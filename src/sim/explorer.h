@@ -1,0 +1,68 @@
+// Exhaustive schedule/coin exploration: a bounded model checker for the
+// shared-memory protocols in this library.
+//
+// Randomized w.h.p. testing can miss adversarial corner cases; safety
+// properties ("at most one process wins a TAS object", "names are unique")
+// must hold on *every* schedule and *every* coin outcome. The explorer
+// enumerates exactly that: it replays a protocol from scratch along every
+// branch of the decision tree whose nodes are
+//   * scheduling points — which runnable process executes its pending
+//     shared-memory operation next (arity = #runnable), and
+//   * coin flips — each Env::random_below(b) outcome (arity = b),
+// up to a configurable depth, invoking a user check on every terminal
+// state. This is the systematic-testing idea of CHESS/dBug applied to the
+// paper's model; it is what lets us claim the two-process racing-consensus
+// TAS (tas/rw_tas.h) is safe on all interleavings, not just sampled ones.
+//
+// Exploration is stateless: each path is re-executed from the initial
+// state (coroutines cannot be forked), so cost ~ paths x depth. Keep the
+// process count at 2-3 and the depth <= ~20.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/env.h"
+#include "sim/task.h"
+
+namespace loren::sim {
+
+struct ExploreConfig {
+  ProcessId num_processes = 2;
+  /// Maximum decision-tree depth; paths still undecided here are counted
+  /// as `truncated` (liveness is probabilistic, safety must not be).
+  std::uint32_t max_decisions = 24;
+  /// Hard cap on explored paths (safety net against explosion).
+  std::uint64_t max_paths = 50'000'000;
+  /// Shared-memory steps allowed per path; 0 derives a default from
+  /// max_decisions. Needed because a solo runnable process creates no
+  /// decision points (arity-1 choices are forced), so a spinning protocol
+  /// would otherwise replay forever without ever touching the depth bound.
+  std::uint64_t max_steps_per_path = 0;
+};
+
+/// Terminal state of one fully explored execution path.
+struct PathOutcome {
+  std::vector<Name> names;          // per process; -1 if it never returned
+  std::vector<bool> finished;       // per process
+  std::vector<std::uint64_t> memory;  // final shared-memory contents
+  std::uint64_t decisions_used = 0;
+};
+
+struct ExploreResult {
+  std::uint64_t paths_completed = 0;  // all processes returned
+  std::uint64_t paths_truncated = 0;  // hit max_decisions first
+  std::uint64_t violations = 0;       // check() returned false
+  bool hit_path_cap = false;
+};
+
+/// check(outcome) -> true if the safety property holds on this terminal
+/// path; called for completed paths only (truncated paths have undecided
+/// processes and are merely counted).
+ExploreResult explore(
+    const std::function<Task<Name>(Env&, ProcessId)>& factory,
+    const ExploreConfig& config,
+    const std::function<bool(const PathOutcome&)>& check);
+
+}  // namespace loren::sim

@@ -1,0 +1,63 @@
+// The execution runner: drives process coroutines under a Strategy.
+//
+// Together with SimEnv and Strategy this is the complete instantiation of
+// the paper's model: n asynchronous processes, an adversary deciding which
+// process takes the next shared-memory step, and crash failures. The runner
+// additionally validates the renaming correctness conditions (uniqueness,
+// termination of non-crashed processes) on every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/sim_env.h"
+#include "sim/task.h"
+
+namespace loren::sim {
+
+/// Builds the top-level coroutine of one process. Called once per process
+/// before the execution starts.
+using AlgoFactory = std::function<Task<Name>(Env&, ProcessId)>;
+
+struct RunConfig {
+  ProcessId num_processes = 1;
+  std::uint64_t seed = 1;
+  Strategy* strategy = nullptr;
+  /// Abort (throw) if the execution exceeds this many shared-memory steps;
+  /// 0 derives a generous default from num_processes. Guards against
+  /// non-terminating protocols in tests.
+  std::uint64_t max_total_steps = 0;
+};
+
+struct ProcessOutcome {
+  Name name = -1;
+  std::uint64_t steps = 0;
+  bool finished = false;
+  bool crashed = false;
+};
+
+struct RunResult {
+  std::vector<ProcessOutcome> processes;
+  std::uint64_t total_steps = 0;
+  std::uint64_t max_steps = 0;       // max over finished processes
+  Name max_name = -1;                // max over finished processes
+  bool names_unique = true;          // over all processes holding a name
+  ProcessId finished = 0;
+  ProcessId crashed = 0;
+
+  [[nodiscard]] bool renaming_correct() const {
+    return names_unique && finished + crashed == processes.size();
+  }
+};
+
+/// Runs `factory`-built processes on `env` until every process finished or
+/// crashed. The strategy is reset with (num_processes, seed) first.
+RunResult run_execution(SimEnv& env, const AlgoFactory& factory,
+                        const RunConfig& config);
+
+/// Convenience: fresh SimEnv + run, for the common benchmark pattern.
+RunResult simulate(const AlgoFactory& factory, const RunConfig& config);
+
+}  // namespace loren::sim

@@ -1,0 +1,77 @@
+#include "sim/sim_env.h"
+
+#include <stdexcept>
+
+namespace loren::sim {
+
+SimEnv::SimEnv(ProcessId num_processes, std::uint64_t seed)
+    : pending_(num_processes), steps_(num_processes, 0) {
+  rngs_.reserve(num_processes);
+  for (ProcessId p = 0; p < num_processes; ++p) {
+    rngs_.emplace_back(mix_seed(seed, p));
+  }
+}
+
+std::uint64_t SimEnv::execute_now(OpKind, Location, std::uint64_t) {
+  throw std::logic_error("SimEnv does not execute operations immediately");
+}
+
+void SimEnv::post(PendingOp op) {
+  if (pending_[current_].has_value()) {
+    throw std::logic_error("process posted a second op while one is parked");
+  }
+  pending_[current_] = op;
+}
+
+std::uint64_t SimEnv::random_below(std::uint64_t bound) {
+  return rngs_[current_].below(bound);
+}
+
+void SimEnv::ensure_locations(std::uint64_t count) {
+  if (cells_.size() < count) cells_.resize(count, 0);
+}
+
+PendingOp SimEnv::take_pending(ProcessId pid) {
+  if (!pending_[pid].has_value()) {
+    throw std::logic_error("take_pending: process has no parked op");
+  }
+  PendingOp op = *pending_[pid];
+  pending_[pid].reset();
+  return op;
+}
+
+std::uint64_t SimEnv::execute(ProcessId pid, const PendingOp& op) {
+  if (op.loc >= cells_.size()) {
+    // Algorithms are expected to ensure_locations() before probing; growing
+    // on demand keeps truly unbounded adaptive runs simple.
+    cells_.resize(op.loc + 1, 0);
+  }
+  ++steps_[pid];
+  ++total_steps_;
+  std::uint64_t outcome = 0;
+  switch (op.kind) {
+    case OpKind::kTas: {
+      ++tas_count_;
+      outcome = cells_[op.loc] == 0 ? 1 : 0;
+      cells_[op.loc] = 1;
+      break;
+    }
+    case OpKind::kRead:
+      ++rw_count_;
+      outcome = cells_[op.loc];
+      break;
+    case OpKind::kWrite:
+      ++rw_count_;
+      cells_[op.loc] = op.write_value;
+      break;
+  }
+  if (op.result != nullptr) *op.result = outcome;
+  return outcome;
+}
+
+void SimEnv::poke(Location loc, std::uint64_t value) {
+  if (loc >= cells_.size()) cells_.resize(loc + 1, 0);
+  cells_[loc] = value;
+}
+
+}  // namespace loren::sim

@@ -1,0 +1,84 @@
+// SimEnv: the simulated asynchronous shared memory of the paper's model.
+//
+// Holds the flat array of cells, per-process deterministic random streams,
+// the parked operation of each suspended process, and step-count metrics.
+// The scheduler (sim/runner.h) executes parked operations one at a time in
+// an order chosen by an adversary Strategy, which makes executions exactly
+// reproducible and lets us count shared-memory steps precisely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "platform/rng.h"
+#include "sim/env.h"
+
+namespace loren::sim {
+
+class SimEnv final : public Env {
+ public:
+  /// `seed` drives all process-local coins; two runs with equal seeds and
+  /// equal schedules are bit-for-bit identical.
+  SimEnv(ProcessId num_processes, std::uint64_t seed);
+
+  [[nodiscard]] bool immediate() const override { return false; }
+  std::uint64_t execute_now(OpKind kind, Location loc,
+                            std::uint64_t write_value) override;
+  void post(PendingOp op) override;
+  std::uint64_t random_below(std::uint64_t bound) override;
+  void ensure_locations(std::uint64_t count) override;
+  [[nodiscard]] ProcessId current_pid() const override { return current_; }
+
+  // --- scheduler-facing interface -----------------------------------------
+
+  /// Set before resuming a process so that posted ops and coin flips are
+  /// attributed to it.
+  void set_current(ProcessId pid) { current_ = pid; }
+
+  [[nodiscard]] bool has_pending(ProcessId pid) const {
+    return pending_[pid].has_value();
+  }
+  [[nodiscard]] const PendingOp& pending(ProcessId pid) const {
+    return *pending_[pid];
+  }
+  /// Removes and returns the parked op of `pid` (scheduler is about to
+  /// execute it).
+  PendingOp take_pending(ProcessId pid);
+  /// Drops the parked op without executing it (process crash). The
+  /// suspended coroutine itself is destroyed by its owning Task.
+  void drop_pending(ProcessId pid) { pending_[pid].reset(); }
+
+  /// Executes `op` against shared memory and records metrics for `pid`.
+  /// Returns the op outcome (for TAS: 1 iff won).
+  std::uint64_t execute(ProcessId pid, const PendingOp& op);
+
+  // --- inspection (adversaries, tests, metrics) ---------------------------
+
+  [[nodiscard]] std::uint64_t cell(Location loc) const {
+    return loc < cells_.size() ? cells_[loc] : 0;
+  }
+  [[nodiscard]] std::uint64_t num_locations() const { return cells_.size(); }
+  [[nodiscard]] std::uint64_t steps(ProcessId pid) const { return steps_[pid]; }
+  [[nodiscard]] std::uint64_t total_steps() const { return total_steps_; }
+  [[nodiscard]] std::uint64_t tas_count() const { return tas_count_; }
+  [[nodiscard]] std::uint64_t rw_count() const { return rw_count_; }
+  [[nodiscard]] ProcessId num_processes() const {
+    return static_cast<ProcessId>(steps_.size());
+  }
+
+  /// Direct access for experiment setup (e.g. pre-marking locations taken).
+  void poke(Location loc, std::uint64_t value);
+
+ private:
+  std::vector<std::uint64_t> cells_;
+  std::vector<std::optional<PendingOp>> pending_;
+  std::vector<Xoshiro256> rngs_;
+  std::vector<std::uint64_t> steps_;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t tas_count_ = 0;
+  std::uint64_t rw_count_ = 0;
+  ProcessId current_ = 0;
+};
+
+}  // namespace loren::sim

@@ -1,0 +1,108 @@
+// A minimal lazily-started coroutine task with symmetric transfer.
+//
+// Every renaming algorithm in this library is written once, as a coroutine
+// over an abstract shared-memory environment (see sim/env.h). Under the
+// simulator the coroutine suspends at every shared-memory operation so an
+// adversarial scheduler can interleave processes at step granularity (the
+// model of the paper). Under the direct environment the awaiters never
+// block on the scheduler and the same coroutine runs to completion
+// synchronously on a real thread.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace loren::sim {
+
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    std::optional<T> value{};
+    std::exception_ptr exception{};
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        // Hand control back to whoever co_awaited us; if nobody did (a
+        // top-level process task), return to the resumer (the scheduler).
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// True once the coroutine ran to completion (result available).
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Kicks off (or continues) a *top-level* task. Runs until the coroutine
+  /// either completes or suspends waiting for the scheduler.
+  void resume() { handle_.resume(); }
+
+  /// Result of a completed task. Rethrows an exception escaping the body.
+  T result() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(*handle_.promise().value);
+  }
+
+  /// Awaiting a Task starts the child coroutine via symmetric transfer and
+  /// resumes the parent when the child completes.
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_{};
+};
+
+}  // namespace loren::sim

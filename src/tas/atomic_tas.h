@@ -1,0 +1,102 @@
+// Hardware-backed shared memory: std::atomic cells plus the DirectEnv that
+// lets the coroutine algorithms run unchanged on real threads.
+//
+// TAS is exchange(1) on a 64-bit cell ("win" iff the previous value was 0,
+// exactly the paper's semantics); reads/writes are seq_cst so the
+// read-write TAS substrates are linearizable on hardware too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "platform/rng.h"
+#include "sim/env.h"
+
+namespace loren {
+
+class AtomicTasArray {
+ public:
+  explicit AtomicTasArray(std::uint64_t size)
+      : size_(size), cells_(std::make_unique<std::atomic<std::uint64_t>[]>(size)) {
+    reset();
+  }
+
+  /// Returns true iff this call won the TAS (flipped the cell from 0).
+  bool test_and_set(std::uint64_t i) {
+    return cells_[i].exchange(1, std::memory_order_seq_cst) == 0;
+  }
+  [[nodiscard]] std::uint64_t read(std::uint64_t i) const {
+    return cells_[i].load(std::memory_order_seq_cst);
+  }
+  void write(std::uint64_t i, std::uint64_t v) {
+    cells_[i].store(v, std::memory_order_seq_cst);
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+  /// Not thread-safe; for reuse between single-threaded experiment rounds.
+  void reset() {
+    for (std::uint64_t i = 0; i < size_; ++i) {
+      cells_[i].store(0, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::uint64_t size_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+};
+
+/// An Env whose shared-memory operations execute immediately on an
+/// AtomicTasArray. One DirectEnv per thread (it owns that thread's random
+/// stream and step counter); the array is the shared substrate.
+class DirectEnv final : public sim::Env {
+ public:
+  DirectEnv(AtomicTasArray& memory, std::uint64_t seed, sim::ProcessId pid)
+      : memory_(&memory), rng_(mix_seed(seed, pid)), pid_(pid) {}
+
+  [[nodiscard]] bool immediate() const override { return true; }
+
+  std::uint64_t execute_now(sim::OpKind kind, sim::Location loc,
+                            std::uint64_t write_value) override {
+    ++steps_;
+    switch (kind) {
+      case sim::OpKind::kTas:
+        return memory_->test_and_set(loc) ? 1 : 0;
+      case sim::OpKind::kRead:
+        return memory_->read(loc);
+      case sim::OpKind::kWrite:
+        memory_->write(loc, write_value);
+        return 0;
+    }
+    return 0;  // unreachable
+  }
+
+  void post(sim::PendingOp) override {
+    throw std::logic_error("DirectEnv never parks operations");
+  }
+
+  std::uint64_t random_below(std::uint64_t bound) override {
+    return rng_.below(bound);
+  }
+
+  void ensure_locations(std::uint64_t count) override {
+    if (count > memory_->size()) {
+      throw std::length_error(
+          "DirectEnv: algorithm needs more locations than were preallocated");
+    }
+  }
+
+  [[nodiscard]] sim::ProcessId current_pid() const override { return pid_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  AtomicTasArray* memory_;
+  Xoshiro256 rng_;
+  sim::ProcessId pid_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace loren

@@ -1,0 +1,122 @@
+#include "tas/rw_tas.h"
+
+#include <bit>
+
+namespace loren {
+
+using sim::Env;
+using sim::Location;
+using sim::ProcessId;
+using sim::Task;
+
+namespace {
+
+constexpr std::uint64_t encode(std::uint64_t round, int value) {
+  return (round << 2) | (static_cast<std::uint64_t>(value) << 1) | 1ULL;
+}
+constexpr bool written(std::uint64_t reg) { return (reg & 1ULL) != 0; }
+constexpr int reg_value(std::uint64_t reg) {
+  return static_cast<int>((reg >> 1) & 1ULL);
+}
+constexpr std::uint64_t reg_round(std::uint64_t reg) { return reg >> 2; }
+
+}  // namespace
+
+Task<bool> two_process_rw_tas(Env& env, Location base, int role) {
+  // Chor-Israeli-Li-style race. Decide value v once two rounds ahead of the
+  // opponent's last observed position; safety argument in rw_tas.h.
+  std::uint64_t k = 1;
+  int v = role;
+  for (;;) {
+    co_await sim::write(env, base + static_cast<Location>(role), encode(k, v));
+    const std::uint64_t other =
+        co_await sim::read(env, base + static_cast<Location>(1 - role));
+    if (!written(other)) {
+      if (k >= 2) co_return v == role;  // two ahead of an absent opponent
+      ++k;
+      continue;
+    }
+    const std::uint64_t r = reg_round(other);
+    const int w = reg_value(other);
+    if (r > k) {
+      k = r;  // adopt the leader's position and value
+      v = w;
+    } else if (r == k) {
+      // Same-round agreement is stable: the opponent's value can only
+      // change by adopting a *different* leader value or by a coin on a
+      // *differing* tie, and neither can occur once both registers show
+      // (k, v). Deciding here is safe and breaks lockstep livelock.
+      if (w == v) co_return v == role;
+      if (env.random_below(2) == 0) v = w;  // fair tie-break coin
+      ++k;
+    } else {
+      if (k - r >= 2) co_return v == role;  // two ahead: decide
+      ++k;
+    }
+  }
+}
+
+TournamentTasService::TournamentTasService(Location base,
+                                           std::uint64_t num_logical,
+                                           ProcessId num_processes)
+    : base_(base), num_logical_(num_logical) {
+  leaves_ = std::bit_ceil(std::max<std::uint64_t>(num_processes, 2));
+  depth_ = static_cast<std::uint64_t>(std::countr_zero(leaves_));
+  // Implicit heap: internal nodes 0 .. leaves_-2, two registers each.
+  cells_per_logical_ = 2 * (leaves_ - 1);
+}
+
+Task<bool> TournamentTasService::run_tournament(Env& env, std::uint64_t logical,
+                                                Location region_base) {
+  (void)logical;
+  // Leaf slots are leaves_-1 .. 2*leaves_-2 in the implicit heap; the
+  // process climbs toward the root, playing role 0 when arriving from a
+  // left child and role 1 from a right child. At most one process can
+  // arrive at any node from a given side (by induction: two-process TAS
+  // objects admit one winner per side), so roles are never reused.
+  std::uint64_t node = (leaves_ - 1) + env.current_pid();
+  while (node != 0) {
+    const std::uint64_t parent = (node - 1) / 2;
+    const int role = node == 2 * parent + 1 ? 0 : 1;
+    const Location obj = region_base + 2 * parent;
+    if (!co_await two_process_rw_tas(env, obj, role)) co_return false;
+    node = parent;
+  }
+  co_return true;
+}
+
+Task<bool> TournamentTasService::acquire(Env& env, std::uint64_t logical) {
+  const Location region = base_ + logical * cells_per_logical_;
+  env.ensure_locations(region + cells_per_logical_);
+  co_return co_await run_tournament(env, logical, region);
+}
+
+SifterTasService::SifterTasService(Location base, std::uint64_t num_logical,
+                                   ProcessId num_processes)
+    : TournamentTasService(base, num_logical, num_processes) {
+  // Levels beyond log2(processes)+3 are hit with negligible probability;
+  // the top cell acts as a catch-all (a max-level process never loses the
+  // sift because nothing can occupy a *strictly* higher level).
+  levels_ = depth_ + 4;
+  cells_per_logical_ += levels_ + 1;
+}
+
+Task<bool> SifterTasService::acquire(Env& env, std::uint64_t logical) {
+  const Location region = base_ + logical * cells_per_logical_;
+  env.ensure_locations(region + cells_per_logical_);
+  const Location board = region + 2 * (leaves_ - 1);  // after tournament regs
+
+  // Geometric level: X = number of heads before the first tail, capped.
+  std::uint64_t level = 0;
+  while (level + 1 < levels_ && env.random_below(2) == 0) ++level;
+
+  co_await sim::write(env, board + level, 1);
+  if (level + 1 < levels_) {
+    // Occupied higher level => at least one survivor above us keeps going;
+    // we can lose immediately having spent only two register steps.
+    if (co_await sim::read(env, board + level + 1) != 0) co_return false;
+  }
+  co_return co_await run_tournament(env, logical, region);
+}
+
+}  // namespace loren

@@ -1,0 +1,86 @@
+// Test-and-set built from read/write registers (paper Section 2 discussion).
+//
+// The paper assumes hardware TAS but notes that in the pure read-write
+// model one would plug in randomized TAS implementations at a
+// multiplicative cost. We provide two substrates so that cost is
+// measurable (experiment E9):
+//
+// * TournamentTasService — a binary tournament tree with one randomized
+//   two-process TAS object per internal node. The two-process object is a
+//   Chor-Israeli-Li-style racing consensus: each side advances through
+//   rounds, adopts the value of a strictly-ahead opponent, breaks round
+//   ties with fair coins, and decides its current value once it is two
+//   rounds ahead; TAS(i) then returns "won" iff the decided value is i.
+//   Agreement is deterministic (safety never depends on coins); expected
+//   O(1) rounds per node even against the adaptive adversary; O(log n)
+//   register steps per logical TAS acquire.
+//
+// * SifterTasService — the tournament preceded by a geometric-level sifter
+//   (in the spirit of the sub-logarithmic TAS constructions [3, 22] the
+//   paper cites): a process draws a geometric level X, writes board[X],
+//   reads board[X+1] and immediately loses if a higher level is occupied.
+//   This filters the crowd down to the handful of max-level processes in
+//   two register steps, so the tournament above runs nearly uncontended.
+//
+// Both substrates guarantee the only property renaming needs: at most one
+// winner per logical location, and a process running solo (or any process
+// that survives to the tournament root) always learns an outcome.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/env.h"
+#include "sim/task.h"
+#include "tas/tas_service.h"
+
+namespace loren {
+
+/// One-shot randomized two-process TAS from two shared registers at
+/// cells [base, base+2). `role` must be 0 or 1 and unique per caller.
+/// Returns true iff this role won. Register encoding: bit 0 = written flag,
+/// bit 1 = proposed winner role, bits 2.. = round number.
+sim::Task<bool> two_process_rw_tas(sim::Env& env, sim::Location base, int role);
+
+class TournamentTasService : public TasService {
+ public:
+  /// Serves `num_logical` logical TAS objects for up to `num_processes`
+  /// processes, using cells [base, base + footprint()).
+  TournamentTasService(sim::Location base, std::uint64_t num_logical,
+                       sim::ProcessId num_processes);
+
+  sim::Task<bool> acquire(sim::Env& env, std::uint64_t logical) override;
+  [[nodiscard]] std::uint64_t footprint() const override {
+    return num_logical_ * cells_per_logical_;
+  }
+  [[nodiscard]] const char* name() const override { return "rw-tournament"; }
+
+  [[nodiscard]] std::uint64_t tree_depth() const { return depth_; }
+
+ protected:
+  /// Runs the tournament part for `logical` starting from this process's
+  /// leaf; shared by the sifter subclass.
+  sim::Task<bool> run_tournament(sim::Env& env, std::uint64_t logical,
+                                 sim::Location region_base);
+
+  sim::Location base_;
+  std::uint64_t num_logical_;
+  std::uint64_t leaves_;             // processes rounded up to a power of two
+  std::uint64_t depth_ = 0;          // log2(leaves_)
+  std::uint64_t cells_per_logical_;  // 2 registers per internal node (+ sifter)
+};
+
+class SifterTasService final : public TournamentTasService {
+ public:
+  SifterTasService(sim::Location base, std::uint64_t num_logical,
+                   sim::ProcessId num_processes);
+
+  sim::Task<bool> acquire(sim::Env& env, std::uint64_t logical) override;
+  [[nodiscard]] const char* name() const override { return "rw-sifter"; }
+
+  [[nodiscard]] std::uint64_t sifter_levels() const { return levels_; }
+
+ private:
+  std::uint64_t levels_;
+};
+
+}  // namespace loren

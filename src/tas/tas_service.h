@@ -1,0 +1,48 @@
+// TasService: how a logical test-and-set object is realized.
+//
+// The paper assumes hardware TAS (Section 2) but discusses the read-write
+// register model, where TAS itself must be implemented from reads and
+// writes at an O(log log k)-or-worse multiplicative cost. A TasService maps
+// a *logical* TAS location (a name slot of the renaming algorithms) onto
+// either a single hardware TAS cell or a read/write protocol occupying a
+// region of cells. Experiment E9 swaps services under the same algorithm to
+// measure that cost.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/env.h"
+#include "sim/task.h"
+
+namespace loren {
+
+/// Acquiring a logical TAS returns true iff this process *won* it (was the
+/// first; the paper's convention). At most one process ever wins a given
+/// logical location, regardless of schedule or crashes.
+class TasService {
+ public:
+  virtual ~TasService() = default;
+  virtual sim::Task<bool> acquire(sim::Env& env, std::uint64_t logical) = 0;
+  /// Number of environment cells this service occupies.
+  [[nodiscard]] virtual std::uint64_t footprint() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The paper's default: one hardware TAS cell per logical location.
+class HardwareTasService final : public TasService {
+ public:
+  HardwareTasService(sim::Location base, std::uint64_t num_logical)
+      : base_(base), num_logical_(num_logical) {}
+
+  sim::Task<bool> acquire(sim::Env& env, std::uint64_t logical) override {
+    co_return co_await sim::tas(env, base_ + logical);
+  }
+  [[nodiscard]] std::uint64_t footprint() const override { return num_logical_; }
+  [[nodiscard]] const char* name() const override { return "hardware"; }
+
+ private:
+  sim::Location base_;
+  std::uint64_t num_logical_;
+};
+
+}  // namespace loren

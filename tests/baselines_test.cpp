@@ -1,0 +1,116 @@
+// Tests for the baseline renaming algorithms (uniform probing, linear
+// scan, doubling-uniform) used as comparison points in experiments E4/E5.
+#include <gtest/gtest.h>
+
+#include "renaming/baselines.h"
+#include "sim/runner.h"
+#include "sim/scheduler.h"
+
+namespace loren {
+namespace {
+
+using sim::AlgoFactory;
+using sim::Env;
+using sim::Name;
+using sim::ProcessId;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::Task;
+
+TEST(UniformProbing, CorrectUnderFullContention) {
+  constexpr std::uint64_t kN = 256;
+  const std::uint64_t m = kN * 3 / 2;
+  AlgoFactory algo = [m](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await uniform_probing(env, m);
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::RandomStrategy strat;
+    RunConfig cfg{.num_processes = kN, .seed = seed, .strategy = &strat};
+    const RunResult r = sim::simulate(algo, cfg);
+    EXPECT_TRUE(r.renaming_correct());
+    EXPECT_LT(r.max_name, static_cast<Name>(m));
+  }
+}
+
+TEST(UniformProbing, SoloWinsInOneStep) {
+  AlgoFactory algo = [](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await uniform_probing(env, 64);
+  };
+  sim::RoundRobinStrategy strat;
+  RunConfig cfg{.num_processes = 1, .seed = 1, .strategy = &strat};
+  const RunResult r = sim::simulate(algo, cfg);
+  EXPECT_EQ(r.max_steps, 1u);
+}
+
+TEST(UniformProbing, TailIsHeavierThanReBatchingBudget) {
+  // The Section 4 strawman: at m = 2n some process needs many probes. We
+  // check the *max* probes exceeds a small constant at moderate n (the
+  // qualitative Omega(log n) tail; E4 quantifies it).
+  constexpr std::uint64_t kN = 4096;
+  AlgoFactory algo = [](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await uniform_probing(env, 2 * kN);
+  };
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = kN, .seed = 11, .strategy = &strat};
+  const RunResult r = sim::simulate(algo, cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_GE(r.max_steps, 5u);
+}
+
+TEST(LinearScan, AlwaysTerminatesWithinM) {
+  constexpr std::uint64_t kN = 128;
+  AlgoFactory algo = [](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await linear_scan(env, kN);  // m == n: zero slack
+  };
+  sim::CollisionAdversary strat;
+  RunConfig cfg{.num_processes = kN, .seed = 5, .strategy = &strat};
+  const RunResult r = sim::simulate(algo, cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished, kN);
+  EXPECT_LE(r.max_steps, kN);
+}
+
+TEST(LinearScan, MoreProcessesThanNamesFailsGracefully) {
+  AlgoFactory algo = [](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await linear_scan(env, 4);
+  };
+  sim::RoundRobinStrategy strat;
+  RunConfig cfg{.num_processes = 8, .seed = 2, .strategy = &strat};
+  const RunResult r = sim::simulate(algo, cfg);
+  EXPECT_TRUE(r.names_unique);
+  std::uint64_t got = 0, failed = 0;
+  for (const auto& p : r.processes) (p.name >= 0 ? got : failed) += 1;
+  EXPECT_EQ(got, 4u);
+  EXPECT_EQ(failed, 4u);
+}
+
+TEST(DoublingUniform, AdaptiveNamespaceShape) {
+  for (const ProcessId k : {1u, 8u, 64u, 512u}) {
+    AlgoFactory algo = [](Env& env, ProcessId) -> Task<Name> {
+      co_return co_await doubling_uniform(env, 1.0, 4);
+    };
+    sim::RandomStrategy strat;
+    RunConfig cfg{.num_processes = k, .seed = 3u + k, .strategy = &strat};
+    const RunResult r = sim::simulate(algo, cfg);
+    EXPECT_TRUE(r.renaming_correct());
+    EXPECT_EQ(r.finished, k);
+    // Names O(k), though with worse constants than AdaptiveReBatching.
+    EXPECT_LT(r.max_name, static_cast<Name>(64 * std::uint64_t{k} + 64));
+  }
+}
+
+TEST(DoublingUniform, RespectsLevelCap) {
+  AlgoFactory algo = [](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await doubling_uniform(env, 1.0, 1, /*max_levels=*/1);
+  };
+  sim::RoundRobinStrategy strat;
+  RunConfig cfg{.num_processes = 8, .seed = 1, .strategy = &strat};
+  const RunResult r = sim::simulate(algo, cfg);
+  // Level 0 has 2 slots and each process takes 1 probe: at most 2 names.
+  std::uint64_t got = 0;
+  for (const auto& p : r.processes) got += p.name >= 0 ? 1 : 0;
+  EXPECT_LE(got, 2u);
+}
+
+}  // namespace
+}  // namespace loren

@@ -1,0 +1,170 @@
+// Property tests for the ReBatching batch geometry (paper Eq. (1)/(2)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "renaming/batch_layout.h"
+
+namespace loren {
+namespace {
+
+TEST(BatchLayout, RejectsInvalidArguments) {
+  EXPECT_THROW(BatchLayout(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BatchLayout(8, 0.0), std::invalid_argument);
+  EXPECT_THROW(BatchLayout(8, -1.0), std::invalid_argument);
+  EXPECT_THROW(BatchLayout(8, BatchLayoutParams{.epsilon = 1.0, .beta = 0}),
+               std::invalid_argument);
+}
+
+TEST(BatchLayout, KappaMatchesCeilLogLog) {
+  EXPECT_EQ(BatchLayout(1, 1.0).kappa(), 0u);
+  EXPECT_EQ(BatchLayout(2, 1.0).kappa(), 0u);
+  EXPECT_EQ(BatchLayout(3, 1.0).kappa(), 1u);   // log2 log2 3 ~ 0.66
+  EXPECT_EQ(BatchLayout(4, 1.0).kappa(), 1u);   // exactly 1
+  EXPECT_EQ(BatchLayout(16, 1.0).kappa(), 2u);  // exactly 2
+  EXPECT_EQ(BatchLayout(17, 1.0).kappa(), 3u);
+  EXPECT_EQ(BatchLayout(256, 1.0).kappa(), 3u);
+  EXPECT_EQ(BatchLayout(65536, 1.0).kappa(), 4u);
+  EXPECT_EQ(BatchLayout(1u << 20, 1.0).kappa(), 5u);
+}
+
+TEST(BatchLayout, BatchZeroHasSizeN) {
+  for (std::uint64_t n : {1u, 2u, 7u, 100u, 4096u}) {
+    EXPECT_EQ(BatchLayout(n, 0.5).size(0), n);
+  }
+}
+
+TEST(BatchLayout, Eq1BatchSizes) {
+  const BatchLayout L(1u << 16, 0.5);
+  const double eps_n = 0.5 * 65536.0;
+  for (std::uint64_t i = 1; i <= L.kappa(); ++i) {
+    EXPECT_EQ(L.size(i), static_cast<std::uint64_t>(
+                             std::ceil(eps_n / std::exp2(double(i)))));
+  }
+}
+
+TEST(BatchLayout, OffsetsArePrefixSums) {
+  const BatchLayout L(10000, 0.7);
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < L.num_batches(); ++i) {
+    EXPECT_EQ(L.offset(i), acc);
+    acc += L.size(i);
+  }
+  EXPECT_EQ(L.total(), acc);
+}
+
+TEST(BatchLayout, TotalIsCloseToOnePlusEpsN) {
+  // sum b_i <= (1+eps)n - eps*n/2^kappa + kappa (paper Section 4), and at
+  // least (1+eps)n - eps*n/2^kappa.
+  for (std::uint64_t n : {1u << 10, 1u << 14, 1u << 18}) {
+    for (double eps : {0.25, 0.5, 1.0, 2.0}) {
+      const BatchLayout L(n, eps);
+      const double nd = n;
+      const double upper =
+          (1 + eps) * nd - eps * nd / std::exp2(double(L.kappa())) +
+          static_cast<double>(L.kappa());
+      const double lower = (1 + eps) * nd - eps * nd / std::exp2(double(L.kappa()));
+      EXPECT_LE(static_cast<double>(L.total()), upper + 1.0);
+      EXPECT_GE(static_cast<double>(L.total()), lower);
+      EXPECT_GE(L.total(), n);  // namespace can hold everyone
+    }
+  }
+}
+
+TEST(BatchLayout, Eq2ProbeCounts) {
+  const BatchLayout L(1u << 16, 0.5);
+  const int t0 = static_cast<int>(
+      std::ceil(17.0 * std::log(8.0 * std::exp(1.0) / 0.5) / 0.5));
+  EXPECT_EQ(L.probes(0), t0);
+  for (std::uint64_t i = 1; i + 1 < L.num_batches(); ++i) {
+    EXPECT_EQ(L.probes(i), 1);
+  }
+  EXPECT_EQ(L.probes(L.kappa()), 3);  // default beta
+}
+
+TEST(BatchLayout, T0OverrideRespected) {
+  const BatchLayout L(1024, BatchLayoutParams{.epsilon = 0.5, .t0_override = 6});
+  EXPECT_EQ(L.probes(0), 6);
+}
+
+TEST(BatchLayout, BetaRespected) {
+  const BatchLayout L(1024, BatchLayoutParams{.epsilon = 0.5, .beta = 7});
+  EXPECT_EQ(L.probes(L.kappa()), 7);
+}
+
+TEST(BatchLayout, MainPhaseProbeSumIsLogLogPlusConstant) {
+  // max_probes = t0 + (kappa-1) + beta = log2 log2 n + O(1).
+  const BatchLayoutParams p{.epsilon = 0.5, .beta = 3, .t0_override = 10};
+  for (std::uint64_t n : {1u << 8, 1u << 12, 1u << 16, 1u << 20}) {
+    const BatchLayout L(n, p);
+    EXPECT_EQ(L.max_probes_main_phase(),
+              10 + static_cast<int>(L.kappa() - 1) + 3);
+  }
+}
+
+TEST(BatchLayout, SurvivorBoundShapesMatchLemma42) {
+  const BatchLayout L(1u << 20, 0.5);
+  // n*_i = eps*n / 2^(2^i + i + delta) for i < kappa.
+  const double delta = 0.1;
+  for (std::uint64_t i = 1; i + 1 <= L.kappa() - 1; ++i) {
+    const double expect = 0.5 * std::exp2(20.0) /
+                          std::exp2(std::exp2(double(i)) + double(i) + delta);
+    EXPECT_NEAR(L.survivor_bound(i, delta), expect, 1e-6);
+  }
+  // n*_kappa = log^2 n.
+  EXPECT_NEAR(L.survivor_bound(L.kappa()), 400.0, 1e-9);
+  EXPECT_THROW((void)L.survivor_bound(0), std::out_of_range);
+  EXPECT_THROW((void)L.survivor_bound(L.kappa() + 1), std::out_of_range);
+}
+
+TEST(BatchLayout, SurvivorBoundsDecayDoublyExponentially) {
+  const BatchLayout L(1u << 20, 0.5);
+  for (std::uint64_t i = 1; i + 2 <= L.kappa() - 1; ++i) {
+    // Ratio n*_{i+1} / n*_i = 2^-(2^i + 1): super-geometric decay.
+    const double ratio = L.survivor_bound(i + 1) / L.survivor_bound(i);
+    EXPECT_LT(ratio, std::exp2(-(std::exp2(double(i)))));
+  }
+}
+
+TEST(BatchLayout, TinyNamespacesAreWellFormed) {
+  for (std::uint64_t n = 1; n <= 64; ++n) {
+    const BatchLayout L(n, 0.5);
+    EXPECT_GE(L.total(), n);
+    EXPECT_EQ(L.size(0), n);
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < L.num_batches(); ++i) {
+      EXPECT_GE(L.size(i), 1u);
+      EXPECT_GE(L.probes(i), 1);
+      sum += L.size(i);
+    }
+    EXPECT_EQ(sum, L.total());
+  }
+}
+
+class BatchLayoutSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BatchLayoutSweep, StructuralInvariants) {
+  const auto [n, eps] = GetParam();
+  const BatchLayout L(n, eps);
+  // Batches are disjoint, ordered, cover [0, total).
+  for (std::uint64_t i = 1; i < L.num_batches(); ++i) {
+    EXPECT_EQ(L.offset(i), L.offset(i - 1) + L.size(i - 1));
+    // Batches B_1.. have geometrically decreasing length; B_0 is larger
+    // than B_1 only when eps <= 2 (b_1 = ceil(eps*n/2)).
+    if (i >= 2) {
+      EXPECT_LE(L.size(i), L.size(i - 1));
+    }
+  }
+  EXPECT_EQ(L.n(), n);
+  EXPECT_DOUBLE_EQ(L.epsilon(), eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchLayoutSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 16, 100, 1024, 65536,
+                                         1u << 20),
+                       ::testing::Values(0.1, 0.5, 1.0, 3.0)));
+
+}  // namespace
+}  // namespace loren

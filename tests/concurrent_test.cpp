@@ -1,0 +1,147 @@
+// Tests for the thread-facing API: ConcurrentRenamer and
+// AdaptiveConcurrentRenamer over real std::atomic cells and std::thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "renaming/concurrent.h"
+
+namespace loren {
+namespace {
+
+using sim::Name;
+
+TEST(ConcurrentRenamer, SingleThreadAllUnique) {
+  constexpr std::uint64_t kN = 512;
+  ConcurrentRenamer renamer(kN, 0.5);
+  std::set<Name> names;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const Name name = renamer.get_name();
+    ASSERT_GE(name, 0);
+    ASSERT_LT(name, static_cast<Name>(renamer.capacity()));
+    ASSERT_TRUE(names.insert(name).second) << "duplicate " << name;
+  }
+  EXPECT_EQ(renamer.names_assigned(), kN);
+}
+
+TEST(ConcurrentRenamer, DirectPathAllUnique) {
+  constexpr std::uint64_t kN = 512;
+  ConcurrentRenamer renamer(kN, 0.5);
+  std::set<Name> names;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const Name name = renamer.get_name_direct();
+    ASSERT_GE(name, 0);
+    ASSERT_TRUE(names.insert(name).second);
+  }
+}
+
+TEST(ConcurrentRenamer, MixedPathsShareTheNamespace) {
+  ConcurrentRenamer renamer(64, 0.5);
+  std::set<Name> names;
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(names.insert(renamer.get_name()).second);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(names.insert(renamer.get_name_direct()).second);
+  }
+  EXPECT_EQ(names.size(), 64u);
+}
+
+TEST(ConcurrentRenamer, MultiThreadedUniqueness) {
+  constexpr std::uint64_t kN = 1024;
+  constexpr int kThreads = 8;
+  ConcurrentRenamer renamer(kN, 0.5);
+  std::vector<std::vector<Name>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kN / kThreads; ++i) {
+        got[t].push_back(renamer.get_name());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<Name> all;
+  for (const auto& v : got) {
+    for (Name n : v) {
+      ASSERT_GE(n, 0);
+      ASSERT_TRUE(all.insert(n).second) << "duplicate name " << n;
+    }
+  }
+  EXPECT_EQ(all.size(), kN);
+}
+
+TEST(ConcurrentRenamer, OversubscriptionFallsBackToBackup) {
+  // Request every name in the namespace: the tail must come from the
+  // backup sweep, and requests beyond capacity must return -1.
+  ConcurrentRenamer renamer(32, 0.25);
+  const std::uint64_t cap = renamer.capacity();
+  std::set<Name> names;
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    const Name n = renamer.get_name();
+    ASSERT_GE(n, 0);
+    ASSERT_TRUE(names.insert(n).second);
+  }
+  EXPECT_EQ(renamer.get_name(), -1);
+  EXPECT_EQ(renamer.get_name_direct(), -1);
+}
+
+TEST(ConcurrentRenamer, CapacityMatchesLayout) {
+  ConcurrentRenamer renamer(100, 0.5);
+  EXPECT_EQ(renamer.capacity(), BatchLayout(100, 0.5).total());
+}
+
+TEST(AdaptiveConcurrentRenamer, LowContentionSmallNames) {
+  AdaptiveConcurrentRenamer renamer(1024);
+  for (int i = 0; i < 4; ++i) {
+    const Name n = renamer.get_name();
+    ASSERT_GE(n, 0);
+    EXPECT_LT(n, 64);  // k=4: names stay near the bottom of the stack
+  }
+}
+
+TEST(AdaptiveConcurrentRenamer, NamesScaleWithContention) {
+  AdaptiveConcurrentRenamer renamer(4096);
+  std::set<Name> names;
+  constexpr int k = 256;
+  Name max_name = -1;
+  for (int i = 0; i < k; ++i) {
+    const Name n = renamer.get_name();
+    ASSERT_GE(n, 0);
+    ASSERT_TRUE(names.insert(n).second);
+    max_name = std::max(max_name, n);
+  }
+  EXPECT_LT(max_name, 10 * k + 64);  // O(k) with the eps=1 constants
+}
+
+TEST(AdaptiveConcurrentRenamer, MultiThreaded) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 32;
+  AdaptiveConcurrentRenamer renamer(4096);
+  std::vector<std::vector<Name>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) got[t].push_back(renamer.get_name());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<Name> all;
+  for (const auto& v : got) {
+    for (Name n : v) {
+      ASSERT_GE(n, 0);
+      ASSERT_TRUE(all.insert(n).second);
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(AdaptiveConcurrentRenamer, RejectsZeroCapacity) {
+  EXPECT_THROW(AdaptiveConcurrentRenamer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace loren

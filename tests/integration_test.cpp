@@ -1,0 +1,223 @@
+// Cross-module integration tests: every renaming algorithm under every
+// adversary (with and without crashes), renaming over read/write TAS
+// substrates, and simulation-vs-hardware agreement of the public API.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "renaming/adaptive.h"
+#include "renaming/baselines.h"
+#include "renaming/fast_adaptive.h"
+#include "renaming/rebatching.h"
+#include "sim/runner.h"
+#include "sim/scheduler.h"
+#include "tas/rw_tas.h"
+
+namespace loren {
+namespace {
+
+using sim::AlgoFactory;
+using sim::Env;
+using sim::Name;
+using sim::ProcessId;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::Task;
+
+struct Combo {
+  int algo;      // 0 rebatching, 1 adaptive, 2 fast-adaptive, 3 uniform
+  int strategy;  // 0 rr, 1 random, 2 layered, 3 collision
+  int crashes;   // number of crash injections
+};
+
+class EndToEnd : public ::testing::TestWithParam<Combo> {
+ protected:
+  static constexpr ProcessId kProcs = 128;
+
+  struct Fixture {
+    std::unique_ptr<ReBatching> rebatching;
+    std::unique_ptr<AdaptiveReBatching> adaptive;
+    std::unique_ptr<FastAdaptiveReBatching> fast;
+    AlgoFactory factory;
+  };
+
+  static Fixture make_algo(int kind) {
+    Fixture f;
+    switch (kind) {
+      case 0:
+        f.rebatching = std::make_unique<ReBatching>(kProcs, 0.5);
+        f.factory = [algo = f.rebatching.get()](Env& env, ProcessId) -> Task<Name> {
+          co_return co_await algo->get_name(env);
+        };
+        break;
+      case 1:
+        f.adaptive = std::make_unique<AdaptiveReBatching>();
+        f.factory = [algo = f.adaptive.get()](Env& env, ProcessId) -> Task<Name> {
+          co_return co_await algo->get_name(env);
+        };
+        break;
+      case 2:
+        f.fast = std::make_unique<FastAdaptiveReBatching>();
+        f.factory = [algo = f.fast.get()](Env& env, ProcessId) -> Task<Name> {
+          co_return co_await algo->get_name(env);
+        };
+        break;
+      default:
+        f.factory = [](Env& env, ProcessId) -> Task<Name> {
+          co_return co_await uniform_probing(env, 2 * kProcs);
+        };
+    }
+    return f;
+  }
+
+  static std::unique_ptr<sim::Strategy> make_strategy(int kind, int crashes) {
+    std::unique_ptr<sim::Strategy> base;
+    switch (kind) {
+      case 0: base = std::make_unique<sim::RoundRobinStrategy>(); break;
+      case 1: base = std::make_unique<sim::RandomStrategy>(); break;
+      case 2: base = std::make_unique<sim::LayeredStrategy>(); break;
+      default: base = std::make_unique<sim::CollisionAdversary>(); break;
+    }
+    if (crashes > 0) {
+      return std::make_unique<sim::CrashDecorator>(
+          std::move(base), static_cast<ProcessId>(crashes),
+          sim::CrashDecorator::Mode::kRandom, 9);
+    }
+    return base;
+  }
+};
+
+TEST_P(EndToEnd, RenamingHolds) {
+  const Combo combo = GetParam();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto fixture = make_algo(combo.algo);
+    auto strat = make_strategy(combo.strategy, combo.crashes);
+    RunConfig cfg{.num_processes = kProcs, .seed = seed,
+                  .strategy = strat.get()};
+    const RunResult r = sim::simulate(fixture.factory, cfg);
+    EXPECT_TRUE(r.renaming_correct())
+        << "algo=" << combo.algo << " strat=" << combo.strategy
+        << " crashes=" << combo.crashes << " seed=" << seed;
+    EXPECT_EQ(r.crashed, static_cast<ProcessId>(combo.crashes));
+    EXPECT_EQ(r.finished, kProcs - static_cast<ProcessId>(combo.crashes));
+  }
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (int algo = 0; algo < 4; ++algo) {
+    for (int strat = 0; strat < 4; ++strat) {
+      for (int crashes : {0, 16}) {
+        combos.push_back(Combo{algo, strat, crashes});
+      }
+    }
+  }
+  return combos;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  static const char* algos[] = {"ReBatching", "Adaptive", "FastAdaptive",
+                                "Uniform"};
+  static const char* strats[] = {"RR", "Rand", "Layered", "Collision"};
+  return std::string(algos[info.param.algo]) + "_" +
+         strats[info.param.strategy] + (info.param.crashes ? "_crash" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EndToEnd, ::testing::ValuesIn(all_combos()),
+                         combo_name);
+
+// ------------------------------------------ renaming over RW-TAS (E9) ----
+
+class RenamingOverRwTas : public ::testing::TestWithParam<int> {};
+
+TEST_P(RenamingOverRwTas, ReBatchingStaysCorrect) {
+  constexpr ProcessId kProcs = 48;
+  const BatchLayout layout(kProcs, 0.5);
+  std::unique_ptr<TasService> service;
+  if (GetParam() == 0) {
+    service = std::make_unique<TournamentTasService>(0, layout.total(), kProcs);
+  } else {
+    service = std::make_unique<SifterTasService>(0, layout.total(), kProcs);
+  }
+  ReBatching algo(kProcs, ReBatching::Options{.layout = {.epsilon = 0.5},
+                                              .service = service.get()});
+  AlgoFactory factory = [&algo](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await algo.get_name(env);
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    sim::RandomStrategy strat;
+    RunConfig cfg{.num_processes = kProcs, .seed = seed,
+                  .strategy = &strat, .max_total_steps = 5'000'000};
+    const RunResult r = sim::simulate(factory, cfg);
+    EXPECT_TRUE(r.renaming_correct()) << service->name() << " seed " << seed;
+    EXPECT_EQ(r.finished, kProcs);
+    // Names still come from the logical namespace, not the register space.
+    EXPECT_LT(r.max_name, static_cast<Name>(layout.total()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Services, RenamingOverRwTas, ::testing::Values(0, 1),
+                         [](const auto& info) {
+                           return info.param == 0 ? std::string("Tournament")
+                                                  : std::string("Sifter");
+                         });
+
+TEST(RenamingOverRwTas, RegisterStepsCostMoreThanHardware) {
+  constexpr ProcessId kProcs = 32;
+  const BatchLayout layout(kProcs, 0.5);
+
+  ReBatching hw(kProcs, 0.5);
+  AlgoFactory hw_factory = [&hw](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await hw.get_name(env);
+  };
+  sim::RandomStrategy s1;
+  RunConfig c1{.num_processes = kProcs, .seed = 5, .strategy = &s1};
+  const RunResult r_hw = sim::simulate(hw_factory, c1);
+
+  TournamentTasService service(0, layout.total(), kProcs);
+  ReBatching rw(kProcs, ReBatching::Options{.layout = {.epsilon = 0.5},
+                                            .service = &service});
+  AlgoFactory rw_factory = [&rw](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await rw.get_name(env);
+  };
+  sim::RandomStrategy s2;
+  RunConfig c2{.num_processes = kProcs, .seed = 5, .strategy = &s2,
+               .max_total_steps = 5'000'000};
+  const RunResult r_rw = sim::simulate(rw_factory, c2);
+
+  EXPECT_TRUE(r_hw.renaming_correct());
+  EXPECT_TRUE(r_rw.renaming_correct());
+  // The Section 2 remark: a multiplicative blow-up, at least the tree depth.
+  EXPECT_GE(r_rw.total_steps, r_hw.total_steps * service.tree_depth());
+}
+
+// ------------------------------------- adaptive namespaces stay disjoint ----
+
+TEST(Integration, TwoAlgorithmsSideBySideInOneAddressSpace) {
+  // A ReBatching object and an adaptive stack at a disjoint base must not
+  // interfere: run both populations in one simulated memory.
+  constexpr ProcessId kProcs = 64;  // 32 on each algorithm
+  ReBatching fixed(32, ReBatching::Options{.layout = {.epsilon = 0.5}});
+  AdaptiveReBatching adaptive(
+      AdaptiveReBatching::Options{.base = fixed.end()});
+  AlgoFactory factory = [&](Env& env, ProcessId pid) -> Task<Name> {
+    if (pid < 32) co_return co_await fixed.get_name(env);
+    co_return co_await adaptive.get_name(env);
+  };
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = kProcs, .seed = 12, .strategy = &strat};
+  const RunResult r = sim::simulate(factory, cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  for (ProcessId pid = 0; pid < kProcs; ++pid) {
+    const Name name = r.processes[pid].name;
+    ASSERT_GE(name, 0);
+    if (pid < 32) {
+      EXPECT_TRUE(fixed.owns(name));
+    } else {
+      EXPECT_GE(adaptive.stack().object_index_of(name), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loren

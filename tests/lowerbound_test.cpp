@@ -1,0 +1,294 @@
+// Tests for the Section 6 lower-bound machinery: Lemma 6.5 CDF dominance,
+// the Lemma 6.4 coupling sampler, type extraction (Lemma 6.3 reduction),
+// the layered execution with marking, and the Lemma 6.6 recurrence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lowerbound/layered_execution.h"
+#include "lowerbound/poisson_coupling.h"
+#include "lowerbound/recurrence.h"
+#include "platform/poisson.h"
+#include "platform/rng.h"
+#include "renaming/baselines.h"
+#include "renaming/rebatching.h"
+
+namespace loren::lb {
+namespace {
+
+using sim::Env;
+using sim::Name;
+using sim::ProcessId;
+using sim::Task;
+
+// ---------------------------------------------------------- Lemma 6.5 ----
+
+TEST(CoupledRate, PiecewiseDefinition) {
+  EXPECT_DOUBLE_EQ(coupled_rate(0.5), 0.0625);  // lambda^2/4 branch
+  EXPECT_DOUBLE_EQ(coupled_rate(1.0), 0.25);    // both branches equal
+  EXPECT_DOUBLE_EQ(coupled_rate(8.0), 2.0);     // lambda/4 branch
+}
+
+class DominanceGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(DominanceGrid, Lemma65HoldsOnGrid) {
+  const double lambda = GetParam();
+  EXPECT_EQ(first_dominance_violation(lambda, 200), -1)
+      << "P_lambda(n+1) <= P_gamma(n) violated at lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, DominanceGrid,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 1.0, 2.0,
+                                           3.0, 4.0, 8.0, 16.0, 50.0, 200.0));
+
+TEST(Coupling, YNeverExceedsZMinusOne) {
+  Xoshiro256 rng(31337);
+  for (double lambda : {0.2, 1.0, 4.0, 20.0}) {
+    for (int i = 0; i < 5000; ++i) {
+      const CoupledSample s = sample_coupled(lambda, rng);
+      ASSERT_LE(s.y, s.z == 0 ? 0 : s.z - 1)
+          << "lambda=" << lambda << " z=" << s.z << " y=" << s.y;
+    }
+  }
+}
+
+TEST(Coupling, MarginalsHaveTheRightMeans) {
+  Xoshiro256 rng(99);
+  const double lambda = 6.0;
+  const int kSamples = 40000;
+  double sum_z = 0, sum_y = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const CoupledSample s = sample_coupled(lambda, rng);
+    sum_z += static_cast<double>(s.z);
+    sum_y += static_cast<double>(s.y);
+  }
+  EXPECT_NEAR(sum_z / kSamples, lambda, 0.08);
+  EXPECT_NEAR(sum_y / kSamples, coupled_rate(lambda), 0.06);
+}
+
+TEST(Coupling, ConditionalSamplerRespectsBoundAndMarginal) {
+  Xoshiro256 rng(7);
+  const double lambda = 3.0;
+  // Law of total expectation: E[Y] over Z ~ Pois(lambda) should be gamma.
+  double sum_y = 0;
+  const int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t z = poisson_sample(lambda, rng);
+    const std::uint64_t y = sample_y_given_z(lambda, z, rng);
+    ASSERT_LE(y, z == 0 ? 0 : z - 1);
+    sum_y += static_cast<double>(y);
+  }
+  EXPECT_NEAR(sum_y / kSamples, coupled_rate(lambda), 0.05);
+}
+
+// ---------------------------------------------------------- Lemma 6.6 ----
+
+TEST(Recurrence, RateStepBranches) {
+  EXPECT_DOUBLE_EQ(rate_step(10.0, 100.0), 0.25);  // lambda <= s/2: sq/4s
+  EXPECT_DOUBLE_EQ(rate_step(80.0, 100.0), 20.0);  // lambda > s/2: /4
+}
+
+TEST(Recurrence, TrajectoryMonotoneDecreasing) {
+  const auto traj = rate_trajectory(50.0, 400.0, 6);
+  ASSERT_EQ(traj.size(), 7u);
+  for (std::size_t i = 1; i < traj.size(); ++i) EXPECT_LT(traj[i], traj[i - 1]);
+}
+
+TEST(Recurrence, GuaranteedLayersGrowsWithN) {
+  // lambda0 = n/2, s = 2n (s+m with s=m=n): r0 = 1/4 exactly.
+  const auto l1 = guaranteed_layers(128.0, 512.0);
+  const auto l2 = guaranteed_layers(1u << 14, 1u << 16);
+  EXPECT_GE(l2, l1);
+  EXPECT_GE(l1, 1u);  // lg lg 512 - lg lg 16 ~ 1.17
+}
+
+TEST(Recurrence, GuaranteedLayersMatchesClosedForm) {
+  // floor(lg lg s - lg lg 4/r0); see recurrence.cpp for why minus.
+  const double s = 65536.0, lambda0 = s / 8.0;  // r0 = 1/8
+  const double expect =
+      std::floor(std::log2(std::log2(s)) - std::log2(std::log2(32.0)));
+  EXPECT_EQ(guaranteed_layers(lambda0, s),
+            static_cast<std::uint64_t>(expect));
+}
+
+TEST(Recurrence, RejectsOutOfRangeR0) {
+  EXPECT_THROW(guaranteed_layers(300.0, 400.0), std::invalid_argument);
+  EXPECT_THROW(guaranteed_layers(0.0, 400.0), std::invalid_argument);
+}
+
+TEST(Recurrence, TrajectoryStaysAboveFourForGuaranteedLayers) {
+  // The paper's final argument: after guaranteed_layers the *bound* is >= 4.
+  for (double n : {512.0, 4096.0, 65536.0}) {
+    const double s = 2.0 * n;  // s + m with both O(n)
+    const double lambda0 = n / 2.0;
+    const auto layers = guaranteed_layers(lambda0, s);
+    const auto traj = rate_trajectory(lambda0, s, static_cast<int>(layers));
+    EXPECT_GE(traj.back(), 4.0) << "n=" << n;
+  }
+}
+
+// ----------------------------------------------------- type extraction ----
+
+TEST(ExtractTypes, UniformProbingTypes) {
+  const std::uint64_t m = 64;
+  const auto types = extract_types(
+      [m](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await uniform_probing(env, m);
+      },
+      /*num_types=*/32, /*max_layers=*/10, /*seed=*/5);
+  ASSERT_EQ(types.sequences.size(), 32u);
+  for (const auto& seq : types.sequences) {
+    ASSERT_EQ(seq.size(), 10u);  // all-lose: uniform probing never stops
+    for (auto loc : seq) EXPECT_LT(loc, m);
+  }
+  EXPECT_LE(types.num_locations, m);
+}
+
+TEST(ExtractTypes, TypesAreDeterministicPerSeed) {
+  auto factory = [](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await uniform_probing(env, 32);
+  };
+  const auto a = extract_types(factory, 8, 6, 42);
+  const auto b = extract_types(factory, 8, 6, 42);
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
+TEST(ExtractTypes, ReBatchingTypesFollowBatchOrder) {
+  ReBatching algo(64, 0.5);
+  const auto types = extract_types(
+      [&algo](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await algo.get_name(env);
+      },
+      8, 12, 3);
+  const auto& L = algo.layout();
+  for (const auto& seq : types.sequences) {
+    ASSERT_EQ(seq.size(), 12u);
+    // First t0 probes stay in batch 0.
+    const int t0 = L.probes(0);
+    for (int j = 0; j < t0 && j < 12; ++j) {
+      EXPECT_LT(seq[static_cast<std::size_t>(j)], L.size(0));
+    }
+  }
+}
+
+TEST(ExtractTypes, ShortTypesWhenAlgorithmGivesUp) {
+  // linear_scan over m=4 probes only 4 locations then returns -1.
+  const auto types = extract_types(
+      [](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await linear_scan(env, 4);
+      },
+      4, 100, 1);
+  for (const auto& seq : types.sequences) EXPECT_EQ(seq.size(), 4u);
+}
+
+// ---------------------------------------------------- layered execution ----
+
+TEST(LayeredExecution, MarkedNeverExceedsAlive) {
+  const std::uint64_t n = 256;
+  const auto types = extract_types(
+      [n](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await uniform_probing(env, 2 * n);
+      },
+      n * n / 64, 8, 11);  // M scaled down for test speed
+  LayeredResult res =
+      run_layered_execution(types, {.n = n, .max_layers = 8, .seed = 1});
+  std::uint64_t prev_alive = res.initial_instances;
+  std::uint64_t prev_marked = res.initial_instances;
+  for (const auto& layer : res.layers) {
+    EXPECT_LE(layer.marked_after, layer.alive_before - layer.wins);
+    EXPECT_LE(layer.alive_before, prev_alive);
+    EXPECT_LE(layer.marked_after, prev_marked);  // marks only disappear
+    prev_alive = layer.alive_before - layer.wins;
+    prev_marked = layer.marked_after;
+  }
+}
+
+TEST(LayeredExecution, InitialInstancesNearNOverTwo) {
+  const std::uint64_t n = 512;
+  const auto types = extract_types(
+      [n](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await uniform_probing(env, 2 * n);
+      },
+      4096, 4, 2);
+  double total = 0;
+  const int kRuns = 30;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto res = run_layered_execution(
+        types, {.n = n, .max_layers = 1,
+                .seed = static_cast<std::uint64_t>(run)});
+    total += static_cast<double>(res.initial_instances);
+  }
+  EXPECT_NEAR(total / kRuns, n / 2.0, n * 0.12);
+}
+
+TEST(LayeredExecution, SurvivorsPersistLogLogLayers) {
+  // Theorem 6.1's empirical shape: with constant probability, marked
+  // processes persist for the guaranteed number of layers.
+  const std::uint64_t n = 512;
+  const auto types = extract_types(
+      [n](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await uniform_probing(env, 2 * n);
+      },
+      4096, 10, 21);
+  const auto layers = guaranteed_layers(
+      n / 2.0, static_cast<double>(types.num_locations));
+  int survived = 0;
+  const int kRuns = 25;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto res = run_layered_execution(
+        types, {.n = n, .max_layers = layers,
+                .seed = 100 + static_cast<std::uint64_t>(run)});
+    if (res.final_marked() > 0) ++survived;
+  }
+  // The paper proves >= 0.23; empirically it is much higher. Require a
+  // conservative fraction to keep the test robust.
+  EXPECT_GE(survived, kRuns / 4);
+}
+
+TEST(LayeredExecution, RatesTrackLemma66Bound) {
+  const std::uint64_t n = 256;
+  const auto types = extract_types(
+      [n](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await uniform_probing(env, 2 * n);
+      },
+      2048, 6, 9);
+  const auto res =
+      run_layered_execution(types, {.n = n, .max_layers = 6, .seed = 5});
+  for (const auto& layer : res.layers) {
+    // Analytic rate after the layer >= Lemma 6.6's guaranteed bound. (Both
+    // decay doubly exponentially and may underflow to 0 in late layers.)
+    EXPECT_GE(layer.rate_after + 1e-9, layer.rate_bound)
+        << "layer " << layer.layer;
+    EXPECT_GE(layer.rate_after, 0.0);
+  }
+  // Early layers must retain positive rate.
+  ASSERT_FALSE(res.layers.empty());
+  EXPECT_GT(res.layers.front().rate_after, 0.0);
+}
+
+TEST(LayeredExecution, EmptyAfterAllWin) {
+  // One location per type: every *distinct* type's first instance wins in
+  // layer 0. When the Poisson draw duplicates no type (bad_initial false),
+  // that means everyone wins.
+  TypeSet types;
+  types.num_locations = 64;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    types.sequences.push_back({static_cast<sim::Location>(i)});
+  }
+  bool checked = false;
+  for (std::uint64_t seed = 0; seed < 32 && !checked; ++seed) {
+    const auto res =
+        run_layered_execution(types, {.n = 32, .max_layers = 2, .seed = seed});
+    if (res.bad_initial || res.layers.empty() ||
+        res.initial_instances == 0) {
+      continue;
+    }
+    EXPECT_EQ(res.layers[0].wins, res.layers[0].alive_before);
+    EXPECT_EQ(res.layers[1].alive_before, 0u);
+    checked = true;
+  }
+  EXPECT_TRUE(checked) << "no duplicate-free draw in 32 seeds";
+}
+
+}  // namespace
+}  // namespace loren::lb

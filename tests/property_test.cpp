@@ -1,0 +1,220 @@
+// Cross-cutting randomized property sweeps over awkward sizes and loads:
+// odd process counts, oversubscription beyond the namespace, crash storms,
+// and determinism — for every algorithm x adversary combination.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "renaming/adaptive.h"
+#include "renaming/fast_adaptive.h"
+#include "renaming/rebatching.h"
+#include "sim/runner.h"
+#include "sim/scheduler.h"
+
+namespace loren {
+namespace {
+
+using sim::AlgoFactory;
+using sim::Env;
+using sim::Name;
+using sim::ProcessId;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::Task;
+
+std::unique_ptr<sim::Strategy> make_strategy(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<sim::RoundRobinStrategy>();
+    case 1: return std::make_unique<sim::RandomStrategy>();
+    case 2: return std::make_unique<sim::LayeredStrategy>();
+    default: return std::make_unique<sim::CollisionAdversary>();
+  }
+}
+
+// ------------------------------------------- awkward-size sweep ----------
+
+class AwkwardSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AwkwardSizes, ReBatchingCorrectAtNonPowersOfTwo) {
+  const auto [size_idx, strat_kind] = GetParam();
+  static constexpr std::uint64_t kSizes[] = {1, 2, 3, 5, 7, 13, 33, 100, 257};
+  const std::uint64_t n = kSizes[size_idx];
+  ReBatching algo(n, 0.5);
+  auto strat = make_strategy(strat_kind);
+  RunConfig cfg{.num_processes = static_cast<ProcessId>(n),
+                .seed = 17 * n + static_cast<std::uint64_t>(strat_kind),
+                .strategy = strat.get()};
+  const RunResult r = sim::simulate(
+      [&algo](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await algo.get_name(env);
+      },
+      cfg);
+  EXPECT_TRUE(r.renaming_correct()) << "n=" << n;
+  EXPECT_EQ(r.finished, n);
+  EXPECT_LT(r.max_name, static_cast<Name>(algo.layout().total()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AwkwardSizes,
+                         ::testing::Combine(::testing::Range(0, 9),
+                                            ::testing::Range(0, 4)));
+
+// --------------------------------------- oversubscription ----------------
+
+TEST(Oversubscription, ExactCapacityAllServed) {
+  // Exactly capacity() processes: everyone must get a name (the backup
+  // sweep guarantees it) and the namespace must be perfectly packed.
+  ReBatching algo(32, 0.25);
+  const auto cap = static_cast<ProcessId>(algo.layout().total());
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = cap, .seed = 5, .strategy = &strat};
+  const RunResult r = sim::simulate(
+      [&algo](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await algo.get_name(env);
+      },
+      cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished, cap);
+  for (const auto& p : r.processes) EXPECT_GE(p.name, 0);
+}
+
+TEST(Oversubscription, BeyondCapacityFailsCleanly) {
+  // More processes than names: the surplus returns -1, names stay unique,
+  // and exactly capacity() names are handed out.
+  ReBatching algo(32, 0.25);
+  const auto cap = algo.layout().total();
+  const auto procs = static_cast<ProcessId>(cap + 10);
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = procs, .seed = 6, .strategy = &strat};
+  const RunResult r = sim::simulate(
+      [&algo](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await algo.get_name(env);
+      },
+      cfg);
+  EXPECT_TRUE(r.names_unique);
+  std::uint64_t named = 0;
+  for (const auto& p : r.processes) named += p.name >= 0 ? 1 : 0;
+  EXPECT_EQ(named, cap);
+}
+
+// --------------------------------------------- crash storms --------------
+
+class CrashStorm : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashStorm, NinetyPercentCrashesStillUnique) {
+  const int algo_kind = GetParam();
+  constexpr ProcessId kProcs = 64;
+  ReBatching rebatching(kProcs, 0.5);
+  AdaptiveReBatching adaptive;
+  FastAdaptiveReBatching fast;
+  AlgoFactory factory;
+  switch (algo_kind) {
+    case 0:
+      factory = [&rebatching](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await rebatching.get_name(env);
+      };
+      break;
+    case 1:
+      factory = [&adaptive](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await adaptive.get_name(env);
+      };
+      break;
+    default:
+      factory = [&fast](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await fast.get_name(env);
+      };
+  }
+  auto base = std::make_unique<sim::RandomStrategy>();
+  sim::CrashDecorator strat(std::move(base), kProcs - 6,
+                            sim::CrashDecorator::Mode::kRandom,
+                            /*interval=*/2);
+  RunConfig cfg{.num_processes = kProcs, .seed = 23, .strategy = &strat};
+  const RunResult r = sim::simulate(factory, cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished + r.crashed, kProcs);
+  EXPECT_GE(r.finished, 6u);  // the survivors all finished
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, CrashStorm, ::testing::Values(0, 1, 2));
+
+// ------------------------------------------------ determinism ------------
+
+class Determinism : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Determinism, IdenticalSeedsIdenticalOutcomes) {
+  const auto [algo_kind, strat_kind] = GetParam();
+  constexpr ProcessId kProcs = 48;
+  auto build = [&](int kind) -> std::pair<AlgoFactory, std::shared_ptr<void>> {
+    switch (kind) {
+      case 0: {
+        auto algo = std::make_shared<ReBatching>(kProcs, 0.5);
+        return {[algo](Env& env, ProcessId) -> Task<Name> {
+                  co_return co_await algo->get_name(env);
+                },
+                algo};
+      }
+      case 1: {
+        auto algo = std::make_shared<AdaptiveReBatching>();
+        return {[algo](Env& env, ProcessId) -> Task<Name> {
+                  co_return co_await algo->get_name(env);
+                },
+                algo};
+      }
+      default: {
+        auto algo = std::make_shared<FastAdaptiveReBatching>();
+        return {[algo](Env& env, ProcessId) -> Task<Name> {
+                  co_return co_await algo->get_name(env);
+                },
+                algo};
+      }
+    }
+  };
+  auto [f1, keep1] = build(algo_kind);
+  auto [f2, keep2] = build(algo_kind);
+  auto s1 = make_strategy(strat_kind);
+  auto s2 = make_strategy(strat_kind);
+  RunConfig c1{.num_processes = kProcs, .seed = 99, .strategy = s1.get()};
+  RunConfig c2{.num_processes = kProcs, .seed = 99, .strategy = s2.get()};
+  const RunResult r1 = sim::simulate(f1, c1);
+  const RunResult r2 = sim::simulate(f2, c2);
+  ASSERT_EQ(r1.processes.size(), r2.processes.size());
+  for (std::size_t i = 0; i < r1.processes.size(); ++i) {
+    EXPECT_EQ(r1.processes[i].name, r2.processes[i].name);
+    EXPECT_EQ(r1.processes[i].steps, r2.processes[i].steps);
+  }
+  EXPECT_EQ(r1.total_steps, r2.total_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Determinism,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 4)));
+
+// ----------------------------- epsilon sweep: namespace/step trade-off ---
+
+class EpsilonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpsilonSweep, CorrectAcrossSlackFactors) {
+  static constexpr double kEps[] = {0.05, 0.25, 0.5, 1.0, 2.0, 4.0};
+  const double eps = kEps[GetParam()];
+  constexpr std::uint64_t kN = 128;
+  ReBatching algo(kN, eps);
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = kN,
+                .seed = 31 + static_cast<std::uint64_t>(GetParam()),
+                .strategy = &strat};
+  const RunResult r = sim::simulate(
+      [&algo](Env& env, ProcessId) -> Task<Name> {
+        co_return co_await algo.get_name(env);
+      },
+      cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  // Namespace bound: total() ~ (1+eps)n + kappa.
+  EXPECT_LE(algo.layout().total(),
+            static_cast<std::uint64_t>((1.0 + eps) * kN) +
+                algo.layout().kappa() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, EpsilonSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace loren

@@ -1,0 +1,265 @@
+// Tests for the ReBatching algorithm (paper Section 4): correctness under
+// every adversary, step bounds, survivor decay (Lemma 4.2), the backup
+// phase, stats instrumentation, and crash tolerance.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "renaming/rebatching.h"
+#include "sim/runner.h"
+#include "sim/scheduler.h"
+
+namespace loren {
+namespace {
+
+using sim::AlgoFactory;
+using sim::Env;
+using sim::Name;
+using sim::ProcessId;
+using sim::RunConfig;
+using sim::RunResult;
+using sim::Task;
+
+AlgoFactory rebatching_factory(ReBatching& algo) {
+  return [&algo](Env& env, ProcessId) -> Task<Name> {
+    co_return co_await algo.get_name(env);
+  };
+}
+
+std::unique_ptr<sim::Strategy> make_strategy(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<sim::RoundRobinStrategy>();
+    case 1: return std::make_unique<sim::RandomStrategy>();
+    case 2: return std::make_unique<sim::LayeredStrategy>();
+    default: return std::make_unique<sim::CollisionAdversary>();
+  }
+}
+
+class ReBatchingAdversaries
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReBatchingAdversaries, FullContentionUniqueAndBounded) {
+  const auto [kind, seed] = GetParam();
+  constexpr std::uint64_t kN = 256;
+  ReBatching algo(kN, 0.5);
+  auto strat = make_strategy(kind);
+  RunConfig cfg{.num_processes = kN,
+                .seed = static_cast<std::uint64_t>(seed),
+                .strategy = strat.get()};
+  const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished, kN);
+  // Namespace: every name inside [0, total).
+  EXPECT_LT(r.max_name, static_cast<Name>(algo.layout().total()));
+  // Worst case is the backup sweep; sane upper bound check.
+  EXPECT_LE(r.max_steps,
+            static_cast<std::uint64_t>(algo.layout().max_probes_main_phase()) +
+                algo.layout().total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ReBatchingAdversaries,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(ReBatching, SoloProcessWinsFirstProbe) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ReBatching algo(64, 0.5);
+    sim::RoundRobinStrategy strat;
+    RunConfig cfg{.num_processes = 1, .seed = seed, .strategy = &strat};
+    const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+    EXPECT_TRUE(r.renaming_correct());
+    EXPECT_EQ(r.max_steps, 1u);  // empty batch 0: first probe always wins
+    EXPECT_LT(r.max_name, 64);  // a batch-0 name
+  }
+}
+
+TEST(ReBatching, TinyNamespaces) {
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    ReBatching algo(n, 0.5);
+    sim::RandomStrategy strat;
+    RunConfig cfg{.num_processes = static_cast<ProcessId>(n),
+                  .seed = n,
+                  .strategy = &strat};
+    const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+    EXPECT_TRUE(r.renaming_correct()) << "n=" << n;
+    EXPECT_EQ(r.finished, n);
+  }
+}
+
+TEST(ReBatching, StepComplexityIsLogLogPlusConstantWhp) {
+  // Measured max steps should stay below the paper's t0 + (kappa-1) + beta
+  // main-phase budget (i.e. no process enters the backup) and the *typical*
+  // max should be far below it.
+  constexpr std::uint64_t kN = 1u << 12;
+  ReBatching algo(kN, 0.5);
+  const auto budget =
+      static_cast<std::uint64_t>(algo.layout().max_probes_main_phase());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ReBatchingStats stats;
+    algo.attach_stats(&stats);
+    sim::RandomStrategy strat;
+    RunConfig cfg{.num_processes = kN, .seed = seed, .strategy = &strat};
+    const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+    EXPECT_TRUE(r.renaming_correct());
+    EXPECT_LE(r.max_steps, budget);
+    EXPECT_EQ(stats.backup_entries, 0u);
+    algo.attach_stats(nullptr);
+    // New env per seed: reset shared memory by rebuilding the algo is not
+    // needed (simulate creates a fresh SimEnv each time).
+  }
+}
+
+TEST(ReBatching, TotalStepsLinearInN) {
+  // Theorem 4.1: total step complexity O(n) w.h.p.
+  for (std::uint64_t n : {1u << 10, 1u << 12, 1u << 14}) {
+    ReBatching algo(n, 0.5);
+    sim::RandomStrategy strat;
+    RunConfig cfg{.num_processes = static_cast<ProcessId>(n),
+                  .seed = 99,
+                  .strategy = &strat};
+    const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+    EXPECT_TRUE(r.renaming_correct());
+    // Far below t0*n (every process exhausting batch 0): in practice ~4n.
+    EXPECT_LT(r.total_steps, 8 * n) << "n=" << n;
+  }
+}
+
+TEST(ReBatching, SurvivorDecayRespectsLemma42Bounds) {
+  constexpr std::uint64_t kN = 1u << 14;
+  ReBatching algo(kN, 0.5);
+  ReBatchingStats stats;
+  algo.attach_stats(&stats);
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = kN, .seed = 7, .strategy = &strat};
+  const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  // n_{i+1} = failed[i] should be below the paper's n*_{i+1} bound. For
+  // i+1 in 1..kappa-1 the bound is eps*n/2^(2^i+i+delta); allow the kappa
+  // cases their log^2 n bound.
+  const auto& L = algo.layout();
+  for (std::uint64_t i = 1; i <= L.kappa(); ++i) {
+    EXPECT_LE(static_cast<double>(stats.failed[i - 1]),
+              L.survivor_bound(i) + 1.0)
+        << "batch " << i;
+  }
+  EXPECT_EQ(stats.backup_entries, 0u);
+  // Everyone enters batch 0.
+  EXPECT_EQ(stats.entered[0], kN);
+  // Monotone: entered[i+1] == failed[i] when all processes proceed.
+  for (std::uint64_t i = 0; i + 1 < L.num_batches(); ++i) {
+    EXPECT_EQ(stats.entered[i + 1], stats.failed[i]);
+  }
+}
+
+TEST(ReBatching, BackupPhaseHandlesPathologicalLayouts) {
+  // Force the backup: tiny t0/beta so random probing nearly always fails,
+  // n processes on an n-name namespace (eps tiny => nearly no slack).
+  constexpr std::uint64_t kN = 32;
+  ReBatching algo(kN, ReBatching::Options{
+                          .layout = {.epsilon = 0.02, .beta = 1,
+                                     .t0_override = 1}});
+  ReBatchingStats stats;
+  algo.attach_stats(&stats);
+  sim::CollisionAdversary strat;  // worst-case scheduling on top
+  RunConfig cfg{.num_processes = kN, .seed = 3, .strategy = &strat};
+  const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+  // Even in the pathological setup, renaming must stay correct and total:
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished, kN);
+  EXPECT_GE(stats.backup_entries, 1u);  // the point of this configuration
+}
+
+TEST(ReBatching, NoBackupReturnsMinusOneWhenSqueezed) {
+  // With backup disabled and more processes than can plausibly win with
+  // 1-probe budgets, some processes must return -1 (used by Section 5).
+  constexpr std::uint64_t kN = 16;
+  ReBatching algo(kN, ReBatching::Options{
+                          .layout = {.epsilon = 0.01, .beta = 1,
+                                     .t0_override = 1},
+                          .backup = false});
+  sim::CollisionAdversary strat;
+  RunConfig cfg{.num_processes = 64, .seed = 5, .strategy = &strat};
+  sim::SimEnv env(64, 5);
+  const RunResult r = sim::run_execution(env, rebatching_factory(algo), cfg);
+  EXPECT_TRUE(r.names_unique);
+  EXPECT_EQ(r.finished, 64u);
+  std::uint64_t failures = 0;
+  for (const auto& p : r.processes) failures += p.name == -1 ? 1 : 0;
+  EXPECT_GE(failures, 1u);
+}
+
+TEST(ReBatching, CrashesDoNotBreakUniqueness) {
+  constexpr std::uint64_t kN = 128;
+  for (int mode = 0; mode < 2; ++mode) {
+    ReBatching algo(kN, 0.5);
+    auto base = std::make_unique<sim::RandomStrategy>();
+    sim::CrashDecorator strat(std::move(base), /*max_crashes=*/40,
+                              mode == 0 ? sim::CrashDecorator::Mode::kRandom
+                                        : sim::CrashDecorator::Mode::kBeforeWin,
+                              /*interval=*/5);
+    RunConfig cfg{.num_processes = kN, .seed = 31, .strategy = &strat};
+    const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+    EXPECT_TRUE(r.renaming_correct());
+    // The run may finish before every scheduled crash fires.
+    EXPECT_GE(r.crashed, 1u);
+    EXPECT_LE(r.crashed, 40u);
+    EXPECT_EQ(r.finished, kN - r.crashed);
+  }
+}
+
+TEST(ReBatching, FewerProcessesThanCapacity) {
+  // k << n: processes should win almost immediately in batch 0.
+  ReBatching algo(1u << 12, 0.5);
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = 64, .seed = 8, .strategy = &strat};
+  const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_LE(r.max_steps, 3u);
+}
+
+TEST(ReBatching, NamesLandInTheRightBatchRanges) {
+  constexpr std::uint64_t kN = 512;
+  ReBatching algo(kN, 0.5);
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = kN, .seed = 15, .strategy = &strat};
+  const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  // Most names come from batch 0 (size n); count them.
+  std::uint64_t batch0 = 0;
+  for (const auto& p : r.processes) {
+    if (p.name >= 0 && static_cast<std::uint64_t>(p.name) < kN) ++batch0;
+  }
+  EXPECT_GT(batch0, kN * 8 / 10);
+}
+
+TEST(ReBatching, BaseOffsetsNamespace) {
+  ReBatching algo(64, ReBatching::Options{.layout = {.epsilon = 0.5},
+                                          .base = 1000});
+  sim::RandomStrategy strat;
+  RunConfig cfg{.num_processes = 64, .seed = 2, .strategy = &strat};
+  const RunResult r = sim::simulate(rebatching_factory(algo), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  for (const auto& p : r.processes) {
+    ASSERT_GE(p.name, 1000);
+    ASSERT_LT(p.name, static_cast<Name>(algo.end()));
+    EXPECT_TRUE(algo.owns(p.name));
+  }
+  EXPECT_FALSE(algo.owns(999));
+  EXPECT_FALSE(algo.owns(-1));
+}
+
+TEST(ReBatching, DeterministicAcrossIdenticalRuns) {
+  ReBatching a1(128, 0.5), a2(128, 0.5);
+  sim::RandomStrategy s1, s2;
+  RunConfig c1{.num_processes = 128, .seed = 77, .strategy = &s1};
+  RunConfig c2{.num_processes = 128, .seed = 77, .strategy = &s2};
+  const RunResult r1 = sim::simulate(rebatching_factory(a1), c1);
+  const RunResult r2 = sim::simulate(rebatching_factory(a2), c2);
+  for (std::size_t i = 0; i < r1.processes.size(); ++i) {
+    EXPECT_EQ(r1.processes[i].name, r2.processes[i].name);
+    EXPECT_EQ(r1.processes[i].steps, r2.processes[i].steps);
+  }
+}
+
+}  // namespace
+}  // namespace loren

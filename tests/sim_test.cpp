@@ -1,0 +1,345 @@
+// Tests for the simulation framework: Task coroutines, SimEnv semantics,
+// scheduler strategies, the runner, crash injection, and determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/env.h"
+#include "sim/runner.h"
+#include "sim/scheduler.h"
+#include "sim/sim_env.h"
+#include "sim/task.h"
+
+namespace loren::sim {
+namespace {
+
+// ------------------------------------------------------------- Task ----
+
+Task<int> immediate_value(int v) { co_return v; }
+
+Task<int> nested_add(int a, int b) {
+  const int x = co_await immediate_value(a);
+  const int y = co_await immediate_value(b);
+  co_return x + y;
+}
+
+Task<int> recursive_sum(int n) {
+  if (n == 0) co_return 0;
+  co_return n + co_await recursive_sum(n - 1);
+}
+
+TEST(TaskTest, ImmediateCompletion) {
+  auto t = immediate_value(42);
+  EXPECT_FALSE(t.done());  // lazily started
+  t.resume();
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.result(), 42);
+}
+
+TEST(TaskTest, NestedAwaitRunsToCompletion) {
+  auto t = nested_add(2, 3);
+  t.resume();
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.result(), 5);
+}
+
+TEST(TaskTest, DeepRecursionViaSymmetricTransfer) {
+  auto t = recursive_sum(2000);
+  t.resume();
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.result(), 2000 * 2001 / 2);
+}
+
+Task<int> throwing_task() {
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable
+}
+
+TEST(TaskTest, ExceptionPropagates) {
+  auto t = throwing_task();
+  t.resume();
+  ASSERT_TRUE(t.done());
+  EXPECT_THROW(t.result(), std::runtime_error);
+}
+
+Task<int> awaits_thrower() {
+  const int v = co_await throwing_task();
+  co_return v;
+}
+
+TEST(TaskTest, ExceptionPropagatesThroughNestedAwait) {
+  auto t = awaits_thrower();
+  t.resume();
+  ASSERT_TRUE(t.done());
+  EXPECT_THROW(t.result(), std::runtime_error);
+}
+
+TEST(TaskTest, MoveSemantics) {
+  auto t = immediate_value(7);
+  Task<int> u = std::move(t);
+  EXPECT_FALSE(t.valid());  // NOLINT(bugprone-use-after-move): move contract
+  u.resume();
+  EXPECT_EQ(u.result(), 7);
+}
+
+TEST(TaskTest, DestroyingSuspendedTaskIsSafe) {
+  SimEnv env(1, 9);
+  env.ensure_locations(4);
+  auto algo = [](Env& e) -> Task<Name> {
+    if (co_await tas(e, 0)) co_return 0;
+    co_return -1;
+  };
+  {
+    auto t = algo(env);
+    env.set_current(0);
+    t.resume();
+    EXPECT_FALSE(t.done());
+    // Task goes out of scope while suspended at the TAS awaiter.
+  }
+  SUCCEED();
+}
+
+// ------------------------------------------------------------ SimEnv ----
+
+TEST(SimEnvTest, TasSemanticsFirstWins) {
+  SimEnv env(2, 1);
+  env.ensure_locations(1);
+  PendingOp op{OpKind::kTas, 0, 0, nullptr, {}};
+  EXPECT_EQ(env.execute(0, op), 1u);  // first access wins
+  EXPECT_EQ(env.execute(1, op), 0u);  // later accesses lose
+  EXPECT_EQ(env.cell(0), 1u);
+}
+
+TEST(SimEnvTest, ReadWriteSemantics) {
+  SimEnv env(1, 1);
+  env.ensure_locations(3);
+  PendingOp w{OpKind::kWrite, 2, 77, nullptr, {}};
+  env.execute(0, w);
+  PendingOp r{OpKind::kRead, 2, 0, nullptr, {}};
+  EXPECT_EQ(env.execute(0, r), 77u);
+}
+
+TEST(SimEnvTest, StepAccounting) {
+  SimEnv env(2, 1);
+  env.ensure_locations(2);
+  PendingOp op{OpKind::kTas, 0, 0, nullptr, {}};
+  env.execute(0, op);
+  env.execute(0, op);
+  env.execute(1, op);
+  EXPECT_EQ(env.steps(0), 2u);
+  EXPECT_EQ(env.steps(1), 1u);
+  EXPECT_EQ(env.total_steps(), 3u);
+  EXPECT_EQ(env.tas_count(), 3u);
+  EXPECT_EQ(env.rw_count(), 0u);
+}
+
+TEST(SimEnvTest, GrowsOnDemand) {
+  SimEnv env(1, 1);
+  EXPECT_EQ(env.num_locations(), 0u);
+  PendingOp op{OpKind::kTas, 100, 0, nullptr, {}};
+  env.execute(0, op);
+  EXPECT_GE(env.num_locations(), 101u);
+}
+
+TEST(SimEnvTest, RandomStreamsPerProcessAreDeterministic) {
+  SimEnv a(2, 5), b(2, 5);
+  a.set_current(0);
+  b.set_current(0);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.random_below(1000), b.random_below(1000));
+  }
+  a.set_current(1);
+  // Different process => (almost surely) different stream.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += a.random_below(1000) == b.random_below(1000);
+  EXPECT_LE(same, 4);
+}
+
+TEST(SimEnvTest, DoublePostThrows) {
+  SimEnv env(1, 1);
+  env.set_current(0);
+  env.post(PendingOp{});
+  EXPECT_THROW(env.post(PendingOp{}), std::logic_error);
+}
+
+// --------------------------------------------------------- strategies ----
+
+/// n processes, each TASes its own location then returns it: trivially
+/// correct renaming used to exercise the runner.
+AlgoFactory own_slot_algo() {
+  return [](Env& env, ProcessId pid) -> Task<Name> {
+    env.ensure_locations(pid + 1);
+    if (co_await tas(env, pid)) co_return static_cast<Name>(pid);
+    co_return -1;
+  };
+}
+
+/// Everyone fights for location 0 first, loser takes own slot: creates
+/// contention the adversaries can exploit.
+AlgoFactory contended_algo() {
+  return [](Env& env, ProcessId pid) -> Task<Name> {
+    env.ensure_locations(1 + pid + 1);
+    if (co_await tas(env, 0)) co_return 0;
+    if (co_await tas(env, 1 + pid)) co_return static_cast<Name>(1 + pid);
+    co_return -1;
+  };
+}
+
+class StrategyParamTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Strategy> make() {
+    switch (GetParam()) {
+      case 0: return std::make_unique<RoundRobinStrategy>();
+      case 1: return std::make_unique<RandomStrategy>();
+      case 2: return std::make_unique<LayeredStrategy>();
+      default: return std::make_unique<CollisionAdversary>();
+    }
+  }
+};
+
+TEST_P(StrategyParamTest, OwnSlotAllFinish) {
+  auto strat = make();
+  RunConfig cfg{.num_processes = 64, .seed = 11, .strategy = strat.get()};
+  const RunResult r = simulate(own_slot_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished, 64u);
+  EXPECT_EQ(r.total_steps, 64u);  // one step each
+  EXPECT_EQ(r.max_steps, 1u);
+}
+
+TEST_P(StrategyParamTest, ContendedUniqueNames) {
+  auto strat = make();
+  RunConfig cfg{.num_processes = 32, .seed = 13, .strategy = strat.get()};
+  const RunResult r = simulate(contended_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.finished, 32u);
+  // Exactly one process wins location 0 in one step; the rest take two.
+  EXPECT_EQ(r.total_steps, 1u + 2u * 31u);
+}
+
+TEST_P(StrategyParamTest, DeterministicGivenSeed) {
+  auto s1 = make();
+  auto s2 = make();
+  RunConfig c1{.num_processes = 16, .seed = 21, .strategy = s1.get()};
+  RunConfig c2{.num_processes = 16, .seed = 21, .strategy = s2.get()};
+  const RunResult r1 = simulate(contended_algo(), c1);
+  const RunResult r2 = simulate(contended_algo(), c2);
+  ASSERT_EQ(r1.processes.size(), r2.processes.size());
+  for (std::size_t i = 0; i < r1.processes.size(); ++i) {
+    EXPECT_EQ(r1.processes[i].name, r2.processes[i].name);
+    EXPECT_EQ(r1.processes[i].steps, r2.processes[i].steps);
+  }
+}
+
+std::string strategy_param_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "RoundRobin";
+    case 1: return "Random";
+    case 2: return "Layered";
+    default: return "Collision";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyParamTest,
+                         ::testing::Values(0, 1, 2, 3), strategy_param_name);
+
+TEST(LayeredStrategyTest, CountsLayers) {
+  LayeredStrategy strat;
+  RunConfig cfg{.num_processes = 8, .seed = 3, .strategy = &strat};
+  const RunResult r = simulate(own_slot_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  // Every process takes exactly one step => exactly one layer formed.
+  EXPECT_EQ(strat.layers_completed(), 1u);
+}
+
+TEST(CollisionAdversaryTest, SchedulesDoomedProbesFirst) {
+  // With the contended algorithm, the adversary should make every process
+  // waste its location-0 probe after the first winner.
+  CollisionAdversary strat;
+  RunConfig cfg{.num_processes = 16, .seed = 5, .strategy = &strat};
+  const RunResult r = simulate(contended_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.total_steps, 1u + 2u * 15u);
+}
+
+// ------------------------------------------------------------ crashes ----
+
+TEST(CrashTest, RandomCrashesAreTolerated) {
+  auto base = std::make_unique<RoundRobinStrategy>();
+  CrashDecorator strat(std::move(base), /*max_crashes=*/8,
+                       CrashDecorator::Mode::kRandom, /*interval=*/3);
+  RunConfig cfg{.num_processes = 32, .seed = 17, .strategy = &strat};
+  const RunResult r = simulate(contended_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.crashed, 8u);
+  EXPECT_EQ(r.finished, 24u);
+}
+
+TEST(CrashTest, BeforeWinCrashesWasteNoNames) {
+  auto base = std::make_unique<RoundRobinStrategy>();
+  CrashDecorator strat(std::move(base), /*max_crashes=*/4,
+                       CrashDecorator::Mode::kBeforeWin);
+  RunConfig cfg{.num_processes = 8, .seed = 19, .strategy = &strat};
+  const RunResult r = simulate(own_slot_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.crashed, 4u);
+  EXPECT_EQ(r.finished, 4u);
+}
+
+TEST(CrashTest, AllButOneCrash) {
+  auto base = std::make_unique<RoundRobinStrategy>();
+  CrashDecorator strat(std::move(base), /*max_crashes=*/31,
+                       CrashDecorator::Mode::kRandom, /*interval=*/1);
+  RunConfig cfg{.num_processes = 32, .seed = 23, .strategy = &strat};
+  const RunResult r = simulate(contended_algo(), cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.crashed, 31u);
+  EXPECT_EQ(r.finished, 1u);
+}
+
+// ------------------------------------------------------------- runner ----
+
+TEST(RunnerTest, RejectsMissingStrategy) {
+  RunConfig cfg{.num_processes = 2, .seed = 1, .strategy = nullptr};
+  EXPECT_THROW(simulate(own_slot_algo(), cfg), std::invalid_argument);
+}
+
+TEST(RunnerTest, StepGuardFires) {
+  // A process that loops forever on a lost TAS.
+  AlgoFactory spin = [](Env& env, ProcessId) -> Task<Name> {
+    env.ensure_locations(1);
+    for (;;) {
+      if (co_await tas(env, 0)) co_return 0;
+    }
+  };
+  RoundRobinStrategy strat;
+  RunConfig cfg{.num_processes = 2,
+                .seed = 1,
+                .strategy = &strat,
+                .max_total_steps = 1000};
+  EXPECT_THROW(simulate(spin, cfg), std::runtime_error);
+}
+
+TEST(RunnerTest, ProcessWithNoSharedStepsFinishesAtStart) {
+  AlgoFactory local_only = [](Env&, ProcessId pid) -> Task<Name> {
+    co_return static_cast<Name>(pid);
+  };
+  RoundRobinStrategy strat;
+  RunConfig cfg{.num_processes = 4, .seed = 1, .strategy = &strat};
+  const RunResult r = simulate(local_only, cfg);
+  EXPECT_TRUE(r.renaming_correct());
+  EXPECT_EQ(r.total_steps, 0u);
+}
+
+TEST(RunnerTest, DuplicateNamesDetected) {
+  AlgoFactory dup = [](Env&, ProcessId) -> Task<Name> { co_return 7; };
+  RoundRobinStrategy strat;
+  RunConfig cfg{.num_processes = 3, .seed = 1, .strategy = &strat};
+  const RunResult r = simulate(dup, cfg);
+  EXPECT_FALSE(r.names_unique);
+  EXPECT_FALSE(r.renaming_correct());
+}
+
+}  // namespace
+}  // namespace loren::sim
