@@ -9,8 +9,14 @@
 //   * BM_Threaded — contended acquisition throughput with real threads.
 //
 // Acquisitions are measured in "fresh namespace" batches: each iteration
-// claims one name; when the renamer is ~60% full it is replaced (reset),
-// so the numbers reflect the loaded-but-not-exhausted regime.
+// claims one name; when the renamer is ~60% full the namespace is reset —
+// an O(1) epoch bump on the TasArena substrate, so the refresh no longer
+// perturbs the measurement the way the seed's reallocation did — and the
+// numbers reflect the loaded-but-not-exhausted regime.
+//
+// For the multithreaded scenario matrix (padded vs packed, sharded vs
+// single, churn shapes) see bench_throughput.cpp, which emits
+// BENCH_throughput.json.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -24,19 +30,18 @@ constexpr std::uint64_t kN = 1u << 14;
 
 class RenamerPool {
  public:
-  explicit RenamerPool(double epsilon) : epsilon_(epsilon) { refresh(); }
+  explicit RenamerPool(double epsilon)
+      : renamer_(std::make_unique<loren::ConcurrentRenamer>(kN, epsilon)) {}
 
   loren::ConcurrentRenamer& get() {
-    if (++used_ > kN * 6 / 10) refresh();
+    if (++used_ > kN * 6 / 10) {
+      renamer_->reset();  // O(1) epoch bump (seed: O(m) reallocation)
+      used_ = 0;
+    }
     return *renamer_;
   }
 
  private:
-  void refresh() {
-    renamer_ = std::make_unique<loren::ConcurrentRenamer>(kN, epsilon_);
-    used_ = 0;
-  }
-  double epsilon_;
   std::unique_ptr<loren::ConcurrentRenamer> renamer_;
   std::uint64_t used_ = 0;
 };
@@ -59,19 +64,22 @@ BENCHMARK(BM_GetNameDirect);
 
 void BM_UniformProbe(benchmark::State& state) {
   // Baseline: uniform probing over the same-size namespace, hand-inlined.
+  // Packed arena so cell density and the O(1) epoch refresh match what
+  // the renamer benches above pay — the comparison isolates the probe
+  // policy, not the reset strategy.
   const std::uint64_t m = loren::BatchLayout(kN, 0.5).total();
-  auto cells = std::make_unique<loren::AtomicTasArray>(m);
+  loren::TasArena cells(m, loren::ArenaLayout::kPacked);
   loren::Xoshiro256 rng(1);
   std::uint64_t used = 0;
   for (auto _ : state) {
     if (++used > m * 6 / 10) {
-      cells = std::make_unique<loren::AtomicTasArray>(m);
+      cells.reset();
       used = 0;
     }
     std::int64_t name = -1;
     for (;;) {
       const std::uint64_t x = rng.below(m);
-      if (cells->test_and_set(x)) {
+      if (cells.test_and_set(x)) {
         name = static_cast<std::int64_t>(x);
         break;
       }
@@ -93,11 +101,24 @@ void BM_Epsilon(benchmark::State& state) {
 }
 BENCHMARK(BM_Epsilon)->Arg(125)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
 
+// Contended acquire/release cycles with real threads (long-lived renaming
+// steady state: at most `threads` names live at once, so the namespace
+// never fills and no reset is needed mid-benchmark).
+//
+// The renamer is recreated by the Setup hook, which google-benchmark runs
+// once per benchmark run before any thread starts (and Teardown after all
+// threads join). The seed used a function-local `static`, so every run
+// after the first measured a namespace still partially filled by earlier
+// runs' leftover names (a thread that observed name -1 never released).
+std::unique_ptr<loren::ConcurrentRenamer> g_threaded_renamer;
+
+void ThreadedSetup(const benchmark::State&) {
+  g_threaded_renamer = std::make_unique<loren::ConcurrentRenamer>(kN, 0.5);
+}
+void ThreadedTeardown(const benchmark::State&) { g_threaded_renamer.reset(); }
+
 void BM_Threaded(benchmark::State& state) {
-  // Contended acquire/release cycles with real threads (long-lived
-  // renaming steady state: at most `threads` names live at once, so the
-  // namespace never fills and no reset is needed mid-benchmark).
-  static loren::ConcurrentRenamer renamer(kN, 0.5);
+  loren::ConcurrentRenamer& renamer = *g_threaded_renamer;
   for (auto _ : state) {
     const auto name = renamer.get_name_direct();
     benchmark::DoNotOptimize(name);
@@ -105,7 +126,13 @@ void BM_Threaded(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_Threaded)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK(BM_Threaded)
+    ->Setup(ThreadedSetup)
+    ->Teardown(ThreadedTeardown)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
 
 }  // namespace
 

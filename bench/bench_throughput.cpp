@@ -1,0 +1,494 @@
+// Multithreaded acquire/release throughput matrix -> BENCH_throughput.json.
+//
+// This is the machine-readable perf trajectory for the hardware hot path:
+// real std::thread workers hammering acquire/release on
+//   * seed-direct      — a faithful replica of the seed's
+//                        ConcurrentRenamer::get_name_direct hot path
+//                        (packed cells, seq_cst everywhere, per-call
+//                        reseed from a shared ticket, ticket/assigned on
+//                        one cache line, reset by reallocation);
+//   * arena-padded     — today's ConcurrentRenamer (padded TasArena,
+//                        flattened schedule, striped counter);
+//   * arena-packed     — same, packed arena (the density tradeoff);
+//   * service-sharded  — RenamingService, >= 4 shards, padded;
+//   * service-packed   — RenamingService, >= 4 shards, packed arenas;
+//   * service-single   — RenamingService, 1 shard (isolates sharding from
+//                        the other service-layer wins).
+//
+// Scenarios: uncontended (1 thread), full-churn (tight acquire/release),
+// bursty (acquire 32, release 32), skewed-release (64-name working set,
+// skewed victim choice), each at 1..max(4, hw_concurrency) threads, plus
+// a single-threaded fill+reset pool scenario where the namespace is reset
+// every time it hits 60% fill — an O(1) epoch bump vs the seed's O(m)
+// reallocation — and a reset() microbenchmark.
+//
+// The worker loops are templated on the concrete renamer type so the
+// hot path inlines; a type-erased harness (std::function per op) would
+// tax every variant by a constant and compress the ratios.
+//
+// Usage: bench_throughput [--quick] [--out PATH] [--n N] [--duration-ms D]
+// Regenerate the checked-in numbers from the repo root with
+//   ./build/bench/bench_throughput --out BENCH_throughput.json
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/rng.h"
+#include "renaming/batch_layout.h"
+#include "renaming/concurrent.h"
+#include "renaming/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ------------------------------------------------------------------------
+// The seed baseline, replicated in full: the exact hot-path shape of the
+// seed's ConcurrentRenamer::get_name_direct before the TasArena rework,
+// kept here so the JSON trajectory always compares against the same fixed
+// baseline.
+class SeedRenamer {
+ public:
+  SeedRenamer(std::uint64_t n, double eps) : layout_(n, eps) { reset(); }
+
+  std::int64_t acquire() {
+    loren::Xoshiro256 rng(loren::mix_seed(
+        0x10053, ticket_.fetch_add(1, std::memory_order_relaxed)));
+    for (std::uint64_t i = 0; i < layout_.num_batches(); ++i) {
+      const std::uint64_t b = layout_.size(i);
+      const int t = layout_.probes(i);
+      for (int j = 0; j < t; ++j) {
+        const std::uint64_t x = layout_.offset(i) + rng.below(b);
+        if (cells_[x].exchange(1, std::memory_order_seq_cst) == 0) {
+          assigned_.fetch_add(1, std::memory_order_relaxed);
+          return static_cast<std::int64_t>(x);
+        }
+      }
+    }
+    for (std::uint64_t u = 0; u < layout_.total(); ++u) {
+      if (cells_[u].exchange(1, std::memory_order_seq_cst) == 0) {
+        assigned_.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<std::int64_t>(u);
+      }
+    }
+    return -1;
+  }
+
+  bool release(std::int64_t name) {
+    // The seed's check-then-act (read then write) — including its race.
+    if (name < 0 || cells_[name].load(std::memory_order_seq_cst) == 0) {
+      return false;
+    }
+    assigned_.fetch_sub(1, std::memory_order_relaxed);
+    cells_[name].store(0, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// The seed bench pool's refresh: reallocate all m cells.
+  void reset() {
+    cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(layout_.total());
+    for (std::uint64_t i = 0; i < layout_.total(); ++i) {
+      cells_[i].store(0, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+ private:
+  loren::BatchLayout layout_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  // Deliberately adjacent (one cache line), as in the seed.
+  std::atomic<std::uint32_t> ticket_{0};
+  std::atomic<std::uint64_t> assigned_{0};
+};
+
+/// ConcurrentRenamer with the acquire/release-bool surface of the others.
+struct RenamerAdapter {
+  RenamerAdapter(std::uint64_t n, double eps, loren::ArenaLayout layout)
+      : r(n, eps, 0x10053, {}, layout) {}
+  std::int64_t acquire() { return r.get_name_direct(); }
+  bool release(std::int64_t name) {
+    r.release(name);  // workers only release names they hold
+    return true;
+  }
+  void reset() { r.reset(); }
+  loren::ConcurrentRenamer r;
+};
+
+struct Result {
+  std::string scenario;
+  std::string variant;
+  unsigned threads;
+  std::uint64_t ops = 0;  // acquire(+release) items completed
+  double seconds = 0;
+  std::uint64_t failed_acquires = 0;
+  double items_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
+};
+
+struct alignas(64) WorkerCount {
+  std::uint64_t ops = 0;
+  std::uint64_t failed = 0;
+};
+
+// ------------------------------------------------------------- scenarios --
+// Workers only ever release names they themselves hold, so a uniqueness
+// violation would surface as a failed (double) release.
+
+template <class R>
+void churn_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::int64_t name = r.acquire();
+    if (name < 0) {
+      ++c.failed;
+      continue;
+    }
+    r.release(name);
+    ++c.ops;
+  }
+}
+
+template <class R>
+void bursty_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c) {
+  constexpr int kBurst = 32;
+  std::int64_t held[kBurst];
+  while (!stop.load(std::memory_order_relaxed)) {
+    int got = 0;
+    for (int i = 0; i < kBurst; ++i) {
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        ++c.failed;
+        break;
+      }
+      held[got++] = name;
+    }
+    for (int i = 0; i < got; ++i) r.release(held[i]);
+    c.ops += static_cast<std::uint64_t>(got);
+  }
+}
+
+template <class R>
+void skewed_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
+                 std::uint64_t tseed) {
+  constexpr std::uint64_t kWindow = 64;
+  loren::Xoshiro256 rng(0xBEEF ^ tseed);
+  std::vector<std::int64_t> held;
+  held.reserve(kWindow);
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::int64_t name = r.acquire();
+    if (name < 0) {
+      ++c.failed;
+      continue;
+    }
+    held.push_back(name);
+    if (held.size() == kWindow) {
+      // Skewed victim: min of two draws biases releases toward the oldest
+      // held names, so freed cells are cold by the time probes rediscover
+      // them (a worst case for cache reuse).
+      const std::uint64_t a = rng.below(kWindow);
+      const std::uint64_t b = rng.below(kWindow);
+      const std::uint64_t victim = a < b ? a : b;
+      r.release(held[victim]);
+      held[victim] = held.back();
+      held.pop_back();
+    }
+    ++c.ops;
+  }
+  for (const std::int64_t n : held) r.release(n);
+}
+
+/// Single-threaded one-shot pool: acquire into a fresh namespace, reset at
+/// 60% fill — the regime of the E10 "fresh namespace" benches. The reset
+/// cost is *inside* the measured loop: for the seed variant that is the
+/// O(m) reallocation, for the arena variants an O(1)/O(shards) epoch bump.
+template <class R>
+void fill_reset_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
+                     std::uint64_t threshold) {
+  std::uint64_t used = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (++used > threshold) {
+      r.reset();
+      used = 0;
+    }
+    if (r.acquire() < 0) ++c.failed;
+    ++c.ops;
+  }
+}
+
+/// Runs `body(thread_index, stop, count)` on `threads` workers for
+/// `duration_ms`, then aggregates.
+template <class Body>
+Result run_threads(std::string scenario, std::string variant, unsigned threads,
+                   int duration_ms, Body&& body) {
+  std::atomic<bool> stop{false};
+  std::vector<WorkerCount> counts(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const auto t0 = Clock::now();
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] { body(t, stop, counts[t]); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
+  const auto t1 = Clock::now();
+
+  Result res{std::move(scenario), std::move(variant), threads};
+  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& c : counts) {
+    res.ops += c.ops;
+    res.failed_acquires += c.failed;
+  }
+  return res;
+}
+
+void print_row(const Result& r) {
+  std::printf("| %s | %s | %u | %.0f | %llu |\n", r.scenario.c_str(),
+              r.variant.c_str(), r.threads, r.items_per_sec(),
+              static_cast<unsigned long long>(r.failed_acquires));
+  std::fflush(stdout);
+}
+
+/// Full scenario matrix for one variant. `make()` returns a fresh, empty
+/// renamer; each (scenario, threads) cell gets its own instance so no cell
+/// inherits another's fill level (the BM_Threaded bug this PR fixes).
+template <class MakeFn>
+void bench_variant(const std::string& vname, MakeFn make,
+                   const std::vector<unsigned>& thread_counts, int duration_ms,
+                   std::uint64_t n, std::vector<Result>& out) {
+  {
+    auto r = make();
+    out.push_back(run_threads("uncontended", vname, 1, duration_ms,
+                              [&](unsigned, const std::atomic<bool>& stop,
+                                  WorkerCount& c) { churn_loop(*r, stop, c); }));
+    print_row(out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads("full-churn", vname, threads, duration_ms,
+                              [&](unsigned, const std::atomic<bool>& stop,
+                                  WorkerCount& c) { churn_loop(*r, stop, c); }));
+    print_row(out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads("bursty", vname, threads, duration_ms,
+                              [&](unsigned, const std::atomic<bool>& stop,
+                                  WorkerCount& c) { bursty_loop(*r, stop, c); }));
+    print_row(out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads(
+        "skewed-release", vname, threads, duration_ms,
+        [&](unsigned t, const std::atomic<bool>& stop, WorkerCount& c) {
+          skewed_loop(*r, stop, c, t);
+        }));
+    print_row(out.back());
+  }
+  {
+    auto r = make();
+    const std::uint64_t threshold = n * 6 / 10;
+    out.push_back(run_threads(
+        "fill-reset-pool", vname, 1, duration_ms,
+        [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+          fill_reset_loop(*r, stop, c, threshold);
+        }));
+    print_row(out.back());
+  }
+}
+
+// ------------------------------------------------------------------ json --
+std::string fmt1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+void write_json(const std::string& path, std::uint64_t n, double eps,
+                int duration_ms, const std::vector<Result>& results,
+                const std::vector<std::pair<std::string, double>>& resets,
+                std::uint64_t reset_cells,
+                const std::vector<std::pair<std::string, double>>& derived) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"hw_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"n\": %llu,\n  \"epsilon\": %.3f,\n",
+               static_cast<unsigned long long>(n), eps);
+  std::fprintf(f, "  \"duration_ms\": %d,\n", duration_ms);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"variant\": \"%s\", \"threads\": "
+                 "%u, \"ops\": %llu, \"seconds\": %.4f, \"items_per_sec\": %s, "
+                 "\"failed_acquires\": %llu}%s\n",
+                 r.scenario.c_str(), r.variant.c_str(), r.threads,
+                 static_cast<unsigned long long>(r.ops), r.seconds,
+                 fmt1(r.items_per_sec()).c_str(),
+                 static_cast<unsigned long long>(r.failed_acquires),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"reset\": [\n");
+  for (std::size_t i = 0; i < resets.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"variant\": \"%s\", \"cells\": %llu, "
+                 "\"ns_per_reset\": %s}%s\n",
+                 resets[i].first.c_str(),
+                 static_cast<unsigned long long>(reset_cells),
+                 fmt1(resets[i].second).c_str(),
+                 i + 1 < resets.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"derived\": {\n");
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.3f%s\n", derived[i].first.c_str(),
+                 derived[i].second, i + 1 < derived.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n = 1u << 14;
+  int duration_ms = 300;
+  bool quick = false;
+  std::string out = "BENCH_throughput.json";
+  const double eps = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--n N] "
+                   "[--duration-ms D]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (quick) duration_ms = std::min(duration_ms, 60);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+  // 0 = auto sharding (shards chosen for distinct home shards per hardware
+  // thread AND L1-resident padded shard arenas; see RenamingServiceOptions).
+  const std::uint64_t service_shards = 0;
+
+  using loren::ArenaLayout;
+  auto make_service = [n, eps](std::uint64_t shards, ArenaLayout layout) {
+    loren::RenamingServiceOptions opts;
+    opts.epsilon = eps;
+    opts.shards = shards;
+    opts.arena_layout = layout;
+    return std::make_unique<loren::RenamingService>(n, opts);
+  };
+
+  std::vector<Result> results;
+  std::printf("# throughput matrix: n=%llu eps=%.2f hw=%u duration=%dms\n\n",
+              static_cast<unsigned long long>(n), eps, hw, duration_ms);
+  std::printf("| scenario | variant | threads | items/sec | failed |\n");
+  std::printf("| --- | --- | --- | --- | --- |\n");
+
+  bench_variant(
+      "seed-direct", [&] { return std::make_unique<SeedRenamer>(n, eps); },
+      thread_counts, duration_ms, n, results);
+  bench_variant(
+      "arena-padded",
+      [&] { return std::make_unique<RenamerAdapter>(n, eps, ArenaLayout::kPadded); },
+      thread_counts, duration_ms, n, results);
+  bench_variant(
+      "arena-packed",
+      [&] { return std::make_unique<RenamerAdapter>(n, eps, ArenaLayout::kPacked); },
+      thread_counts, duration_ms, n, results);
+  bench_variant(
+      "service-sharded",
+      [&] { return make_service(service_shards, ArenaLayout::kPadded); },
+      thread_counts, duration_ms, n, results);
+  bench_variant(
+      "service-packed",
+      [&] { return make_service(service_shards, ArenaLayout::kPacked); },
+      thread_counts, duration_ms, n, results);
+  bench_variant("service-single",
+                [&] { return make_service(1, ArenaLayout::kPadded); },
+                thread_counts, duration_ms, n, results);
+
+  // ---- reset microbenchmark: O(m) reallocation vs O(1) epoch bump ------
+  const std::uint64_t m = loren::BatchLayout(n, eps).total();
+  std::vector<std::pair<std::string, double>> resets;
+  {
+    SeedRenamer seed(n, eps);
+    const int iters = quick ? 50 : 400;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) seed.reset();
+    const auto t1 = Clock::now();
+    resets.emplace_back(
+        "seed-realloc",
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / iters);
+  }
+  {
+    loren::TasArena arena(m, ArenaLayout::kPadded);
+    const int iters = quick ? 50000 : 1000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) arena.reset();
+    const auto t1 = Clock::now();
+    resets.emplace_back(
+        "arena-epoch",
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / iters);
+  }
+  std::printf("\n| reset variant | cells | ns/reset |\n| --- | --- | --- |\n");
+  for (const auto& [name, ns] : resets) {
+    std::printf("| %s | %llu | %.1f |\n", name.c_str(),
+                static_cast<unsigned long long>(m), ns);
+  }
+
+  // ---- headline derived numbers ----------------------------------------
+  auto items = [&](const std::string& sc, const std::string& v,
+                   unsigned threads) -> double {
+    for (const Result& r : results) {
+      if (r.scenario == sc && r.variant == v && r.threads == threads) {
+        return r.items_per_sec();
+      }
+    }
+    return 0;
+  };
+  const unsigned peak = thread_counts.back();
+  std::vector<std::pair<std::string, double>> derived;
+  const double seed_peak = items("full-churn", "seed-direct", peak);
+  if (seed_peak > 0) {
+    derived.emplace_back("speedup_full_churn_sharded_vs_seed_at_peak_threads",
+                         items("full-churn", "service-sharded", peak) / seed_peak);
+    derived.emplace_back("speedup_full_churn_padded_vs_seed_at_peak_threads",
+                         items("full-churn", "arena-padded", peak) / seed_peak);
+  }
+  const double seed_fill = items("fill-reset-pool", "seed-direct", 1);
+  if (seed_fill > 0) {
+    derived.emplace_back(
+        "speedup_fill_reset_sharded_vs_seed",
+        items("fill-reset-pool", "service-sharded", 1) / seed_fill);
+  }
+  derived.emplace_back("peak_threads", peak);
+  std::printf("\n");
+  for (const auto& [k, vd] : derived) std::printf("%s = %.3f\n", k.c_str(), vd);
+
+  write_json(out, n, eps, duration_ms, results, resets, m, derived);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// RegisteredCounter: an exact-at-quiescence statistic counter whose hot
+// path is two plain moves, not a locked RMW.
+//
+// StripedCounter (striped_counter.h) removes cross-thread cache-line
+// bouncing, but each add is still an atomic fetch_add — a full locked RMW
+// even uncontended, because two threads can hash to one stripe. A
+// RegisteredCounter goes one step further: each thread registers once and
+// receives its own cache-line-padded node that no other thread ever
+// writes. Single-writer means add() can be load-relaxed + store-relaxed —
+// an ordinary increment of a memory word — while readers still see a
+// consistent per-node value because the word itself is atomic.
+//
+// sum() walks the registry under a mutex (cold path) and is approximate
+// while writers are in flight, exact once they have quiesced *and*
+// synchronized with the reader (e.g. via thread join) — the same contract
+// as StripedCounter. Nodes live as long as the counter, so a thread that
+// exits leaves its net contribution behind, which is exactly right for
+// "how many names are live" (names outlive threads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace loren {
+
+class RegisteredCounter {
+ public:
+  struct alignas(64) Node {
+    std::atomic<std::int64_t> v{0};
+  };
+
+  /// One-time per thread (callers cache the returned node, e.g. in a
+  /// thread_local). Safe to call concurrently.
+  Node& register_thread() {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_.push_back(std::make_unique<Node>());
+    return *nodes_.back();
+  }
+
+  /// Single-writer add: only the owning thread may pass its node.
+  static void add(Node& node, std::int64_t delta) {
+    node.v.store(node.v.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::int64_t total = 0;
+    for (const auto& n : nodes_) total += n->v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Not thread-safe with concurrent add() (same contract as the arenas'
+  /// reset()).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& n : nodes_) n->v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace loren

@@ -18,36 +18,33 @@ BatchLayoutParams with_epsilon(BatchLayoutParams p, double epsilon) {
 
 ConcurrentRenamer::ConcurrentRenamer(std::uint64_t n, double epsilon,
                                      std::uint64_t seed,
-                                     BatchLayoutParams extra)
+                                     BatchLayoutParams extra,
+                                     ArenaLayout arena_layout)
     : seed_(seed),
-      cells_(BatchLayout(n, with_epsilon(extra, epsilon)).total()),
-      algo_(n, ReBatching::Options{.layout = with_epsilon(extra, epsilon)}) {}
+      cells_(BatchLayout(n, with_epsilon(extra, epsilon)).total(), arena_layout),
+      algo_(n, ReBatching::Options{.layout = with_epsilon(extra, epsilon)}),
+      schedule_(algo_.layout()) {}
 
 Name ConcurrentRenamer::get_name() {
-  DirectEnv env(cells_, seed_,
-                ticket_.fetch_add(1, std::memory_order_relaxed));
+  ArenaEnv env(cells_, seed_,
+               ticket_.fetch_add(1, std::memory_order_relaxed));
   const Name name = sim::run_sync(algo_.get_name(env));
-  if (name >= 0) assigned_.fetch_add(1, std::memory_order_relaxed);
+  if (name >= 0) assigned_.add(1);
   return name;
 }
 
 Name ConcurrentRenamer::get_name_direct() {
   Xoshiro256 rng(mix_seed(seed_, ticket_.fetch_add(1, std::memory_order_relaxed)));
-  const BatchLayout& L = algo_.layout();
-  for (std::uint64_t i = 0; i < L.num_batches(); ++i) {
-    const std::uint64_t b = L.size(i);
-    const int t = L.probes(i);
-    for (int j = 0; j < t; ++j) {
-      const std::uint64_t x = L.offset(i) + rng.below(b);
-      if (cells_.test_and_set(x)) {
-        assigned_.fetch_add(1, std::memory_order_relaxed);
-        return static_cast<Name>(x);
-      }
+  for (const auto& slot : schedule_) {
+    const std::uint64_t x = slot.offset + rng.below(slot.size);
+    if (cells_.test_and_set(x)) {
+      assigned_.add(1);
+      return static_cast<Name>(x);
     }
   }
-  for (std::uint64_t u = 0; u < L.total(); ++u) {  // backup sweep
+  for (std::uint64_t u = 0; u < schedule_.total(); ++u) {  // backup sweep
     if (cells_.test_and_set(u)) {
-      assigned_.fetch_add(1, std::memory_order_relaxed);
+      assigned_.add(1);
       return static_cast<Name>(u);
     }
   }
@@ -55,12 +52,19 @@ Name ConcurrentRenamer::get_name_direct() {
 }
 
 void ConcurrentRenamer::release(sim::Name name) {
+  // Single-RMW validation: exchange the cell to free and check it really
+  // was held. The seed's read()==0 check followed by write(0) let two
+  // racing releases both pass the check and double-decrement assigned_.
   if (name < 0 || static_cast<std::uint64_t>(name) >= cells_.size() ||
-      cells_.read(static_cast<std::uint64_t>(name)) == 0) {
+      !cells_.try_release(static_cast<std::uint64_t>(name))) {
     throw std::invalid_argument("release: name is not currently held");
   }
-  assigned_.fetch_sub(1, std::memory_order_relaxed);
-  cells_.write(static_cast<std::uint64_t>(name), 0);
+  assigned_.add(-1);
+}
+
+void ConcurrentRenamer::reset() {
+  cells_.reset();
+  assigned_.reset();
 }
 
 namespace {
@@ -86,7 +90,7 @@ std::uint64_t adaptive_capacity(std::uint64_t max_contention, double epsilon) {
 AdaptiveConcurrentRenamer::AdaptiveConcurrentRenamer(
     std::uint64_t max_contention, double epsilon, std::uint64_t seed)
     : seed_(seed),
-      cells_(adaptive_capacity(max_contention, epsilon)),
+      cells_(adaptive_capacity(max_contention, epsilon), ArenaLayout::kPacked),
       algo_(AdaptiveReBatching::Options{.layout = {.epsilon = epsilon}}) {
   if (max_contention == 0) {
     throw std::invalid_argument("max_contention must be >= 1");
@@ -94,8 +98,8 @@ AdaptiveConcurrentRenamer::AdaptiveConcurrentRenamer(
 }
 
 std::optional<Name> AdaptiveConcurrentRenamer::try_get_name() {
-  DirectEnv env(cells_, seed_,
-                ticket_.fetch_add(1, std::memory_order_relaxed));
+  ArenaEnv env(cells_, seed_,
+               ticket_.fetch_add(1, std::memory_order_relaxed));
   try {
     const Name name = sim::run_sync(algo_.get_name(env));
     if (name < 0) return std::nullopt;

@@ -1,10 +1,18 @@
 // Thread-facing public API: loose renaming for real concurrent programs.
 //
 // These wrappers run the exact coroutine algorithms from this library over
-// std::atomic cells (DirectEnv), so the code paths measured against the
+// std::atomic cells (ArenaEnv), so the code paths measured against the
 // simulated adversaries are the code paths that execute on hardware. A
 // hand-inlined non-coroutine fast path is provided for the E10 overhead
 // ablation and for users who want the minimal-latency variant.
+//
+// The shared substrate is a TasArena (tas/tas_arena.h): cache-line-padded
+// by default so concurrent probes never false-share, generation-stamped so
+// reset() is O(1), with the minimal memory orders that keep TAS
+// linearizable. The direct path walks a FlatProbeSchedule — the batch
+// geometry precomputed into one (offset, size) array — and the bookkeeping
+// counters are padded/striped so acquisition never serializes on a single
+// cache line.
 //
 // Typical use (see examples/quickstart.cpp):
 //
@@ -17,46 +25,65 @@
 #include <cstdint>
 #include <optional>
 
+#include "platform/striped_counter.h"
 #include "renaming/adaptive.h"
+#include "renaming/probe_schedule.h"
 #include "renaming/rebatching.h"
-#include "tas/atomic_tas.h"
+#include "tas/tas_arena.h"
 
 namespace loren {
 
 /// Non-adaptive renaming: n known in advance, names in [0, capacity()).
-/// All methods except the constructor are safe to call concurrently.
+/// All methods except the constructor and reset() are safe to call
+/// concurrently.
 class ConcurrentRenamer {
  public:
   explicit ConcurrentRenamer(std::uint64_t n, double epsilon = 0.5,
                              std::uint64_t seed = 0x10053,
-                             BatchLayoutParams extra = {});
+                             BatchLayoutParams extra = {},
+                             ArenaLayout arena_layout = ArenaLayout::kPadded);
 
   /// Wait-free unique name; log log n + O(1) shared-memory steps w.h.p.
   sim::Name get_name();
 
-  /// Same algorithm, hand-inlined (no coroutine frames, no virtual Env).
+  /// Same algorithm, hand-inlined (no coroutine frames, no virtual Env):
+  /// a linear walk of the flattened probe schedule.
   sim::Name get_name_direct();
 
   /// Returns `name` to the namespace so later get_name calls can claim it
   /// again (long-lived renaming, cf. [16, 20] in the paper). The paper's
   /// w.h.p. step bounds are proved for the one-shot problem; with
   /// release/reacquire they hold per acquisition as long as at most n
-  /// names are live at any moment. Releasing a name not currently held is
-  /// undefined behaviour (checked: throws when the cell was never won).
+  /// names are live at any moment. Releasing a name not currently held
+  /// throws; the check is a single exchange, so two racing releases of
+  /// the same name cannot both succeed.
   void release(sim::Name name);
+
+  /// O(1) full-namespace reset (epoch bump; see TasArena::reset). Not
+  /// safe concurrently with get_name/release — quiesce first. Replaces
+  /// the seed's reset-by-reallocation between experiment rounds.
+  void reset();
 
   [[nodiscard]] std::uint64_t capacity() const { return algo_.layout().total(); }
   [[nodiscard]] const BatchLayout& layout() const { return algo_.layout(); }
+  [[nodiscard]] ArenaLayout arena_layout() const { return cells_.layout(); }
+  /// Approximate while acquisitions are in flight, exact at quiescence.
   [[nodiscard]] std::uint64_t names_assigned() const {
-    return assigned_.load(std::memory_order_relaxed);
+    const std::int64_t live = assigned_.sum();
+    return live > 0 ? static_cast<std::uint64_t>(live) : 0;
   }
 
  private:
   std::uint64_t seed_;
-  AtomicTasArray cells_;
+  TasArena cells_;
   ReBatching algo_;
-  std::atomic<std::uint32_t> ticket_{0};  // distinct rng stream per call
-  std::atomic<std::uint64_t> assigned_{0};
+  FlatProbeSchedule schedule_;
+  /// Ticket and the assigned counter each live on their own cache line:
+  /// in the seed they shared one, so every acquisition paid two RMW
+  /// bounces on the same hot line. The assigned counter is additionally
+  /// striped so acquire/release never serialize on a single cell.
+  alignas(TasArena::kCacheLine) std::atomic<std::uint32_t> ticket_{0};
+  alignas(TasArena::kCacheLine) StripedCounter assigned_;
 };
 
 /// Adaptive renaming: contention k unknown; names are O(k) w.h.p. Capacity
@@ -77,9 +104,11 @@ class AdaptiveConcurrentRenamer {
 
  private:
   std::uint64_t seed_;
-  AtomicTasArray cells_;
+  /// Packed layout: the adaptive construction stacks many ReBatching
+  /// objects in one address space, so density beats padding here.
+  TasArena cells_;
   AdaptiveReBatching algo_;
-  std::atomic<std::uint32_t> ticket_{0};
+  alignas(TasArena::kCacheLine) std::atomic<std::uint32_t> ticket_{0};
 };
 
 }  // namespace loren

@@ -1,0 +1,48 @@
+// FlatProbeSchedule: the ReBatching probe plan, precomputed for the
+// hand-inlined hot paths.
+//
+// BatchLayout answers offset/size/probes queries through three vectors,
+// so the direct acquisition loop of the seed did two nested loops with
+// four indexed loads per probe. The whole plan is static per layout —
+// batch i contributes probes(i) identical (offset, size) probes — so it
+// flattens into one contiguous array of log2 log2 n + O(1) slots that the
+// hot path walks linearly: one pointer increment and two loads per probe,
+// a single predictable branch, and the entire schedule for n = 2^20 fits
+// in three cache lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "renaming/batch_layout.h"
+
+namespace loren {
+
+class FlatProbeSchedule {
+ public:
+  struct Slot {
+    std::uint64_t offset;  // first cell of the batch this probe targets
+    std::uint64_t size;    // batch size (the rng bound)
+  };
+
+  explicit FlatProbeSchedule(const BatchLayout& layout)
+      : total_(layout.total()) {
+    slots_.reserve(static_cast<std::size_t>(layout.max_probes_main_phase()));
+    for (std::uint64_t i = 0; i < layout.num_batches(); ++i) {
+      const Slot slot{layout.offset(i), layout.size(i)};
+      for (int j = 0; j < layout.probes(i); ++j) slots_.push_back(slot);
+    }
+  }
+
+  [[nodiscard]] const Slot* begin() const { return slots_.data(); }
+  [[nodiscard]] const Slot* end() const { return slots_.data() + slots_.size(); }
+  [[nodiscard]] std::size_t probes() const { return slots_.size(); }
+  /// Namespace size; the backup sweep bound after a full miss.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint64_t total_;
+};
+
+}  // namespace loren

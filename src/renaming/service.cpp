@@ -1,0 +1,225 @@
+#include "renaming/service.h"
+
+#include <vector>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace {
+
+using loren::RegisteredCounter;
+
+/// Everything the acquire/release hot path needs from the calling thread,
+/// behind a single thread_local access: the dense thread slot (the
+/// home-shard hash), the cached per-thread generator (the seed path
+/// re-derived one from a shared ticket on *every* call), and a small
+/// per-service state table — the sticky shard hint and this thread's
+/// registered counter node.
+///
+/// The sticky hint is what keeps a loaded home shard from becoming a tax:
+/// without it, a thread whose home shard has filled walks that shard's
+/// entire probe schedule (t_0 ~ 17 ln(8e/eps)/eps probes on B_0 alone)
+/// and fails it on *every* acquisition before stealing. The hint moves as
+/// soon as wins start arriving late in the schedule (the shard is running
+/// hot) or the schedule misses outright, so steady-state work goes
+/// straight to a shard with free cells; after a reset the hint is merely
+/// stale, never wrong, because any shard can serve any thread. Entries
+/// are keyed by a process-unique service id, so a service constructed at
+/// a dead service's address cannot inherit its state. The table is a
+/// tiny open-addressed map with one entry per (thread, service) and no
+/// eviction — entries (and their registered counter nodes) are reused
+/// for the thread's lifetime, so no call pattern can re-register nodes
+/// and grow a service's counter registry without bound.
+struct ThreadCtx {
+  struct PerService {
+    std::uint64_t service_id = 0;  // 0 = empty (instance ids start at 1)
+    std::uint32_t shard = 0;
+    RegisteredCounter::Node* counter = nullptr;
+  };
+
+  std::uint64_t slot;
+  loren::Xoshiro256 rng;
+  std::vector<PerService> services{16};  // power-of-two capacity
+  std::size_t distinct_services = 0;
+
+  explicit ThreadCtx(std::uint64_t seed, std::uint64_t slot_)
+      : slot(slot_), rng(loren::mix_seed(seed, slot_)) {}
+
+  PerService& for_service(std::uint64_t service_id, std::uint64_t home) {
+    std::size_t i = probe(services, service_id);
+    if (services[i].service_id == service_id) return services[i];
+    if ((distinct_services + 1) * 2 > services.size()) {
+      grow();
+      i = probe(services, service_id);
+    }
+    ++distinct_services;
+    services[i].service_id = service_id;
+    services[i].shard = static_cast<std::uint32_t>(home);
+    services[i].counter = nullptr;
+    return services[i];
+  }
+
+ private:
+  /// Index of service_id's entry, or of the empty slot where it belongs.
+  static std::size_t probe(const std::vector<PerService>& table,
+                           std::uint64_t service_id) {
+    const std::size_t mask = table.size() - 1;
+    std::size_t i = service_id & mask;
+    while (table[i].service_id != 0 && table[i].service_id != service_id) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow() {
+    std::vector<PerService> bigger(services.size() * 2);
+    for (const PerService& s : services) {
+      if (s.service_id != 0) bigger[probe(bigger, s.service_id)] = s;
+    }
+    services.swap(bigger);
+  }
+};
+
+/// Threads get dense slots 0, 1, 2, ... in arrival order, so `slot mod S`
+/// spreads the first S threads over S distinct home shards (a random hash
+/// would collide at birthday rates). The rng seed is fixed by the first
+/// service a thread touches; streams stay independent across threads
+/// either way, which is all the analysis needs.
+ThreadCtx& thread_ctx(std::uint64_t seed) {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local ThreadCtx ctx(seed, next.fetch_add(1, std::memory_order_relaxed));
+  return ctx;
+}
+
+std::uint64_t padded_shard_bytes(std::uint64_t n, std::uint64_t shards,
+                                 const loren::BatchLayoutParams& params) {
+  const std::uint64_t holders = (n + shards - 1) / shards;
+  return loren::BatchLayout(holders, params).total() *
+         loren::TasArena::kCacheLine;
+}
+
+}  // namespace
+
+namespace loren {
+
+using sim::Name;
+
+namespace {
+std::uint64_t next_service_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+RenamingService::RenamingService(std::uint64_t n,
+                                 RenamingServiceOptions options)
+    : options_(options), id_(next_service_id()) {
+  if (n == 0) throw std::invalid_argument("RenamingService: n must be >= 1");
+  options_.layout_extra.epsilon = options_.epsilon;
+
+  std::uint64_t shards = 1;
+  if (options_.shards == 0) {
+    const std::uint64_t hw = std::thread::hardware_concurrency();
+    // Grow while (a) hardware threads would share home shards or (b) a
+    // padded shard spills out of half an L1d — the sticky hot path is
+    // fastest when a thread's whole probe target is cache-resident — but
+    // never shard below 64 holders (tiny shards overflow constantly and
+    // every acquisition degenerates to stealing).
+    constexpr std::uint64_t kHalfL1 = 32 * 1024;
+    while (n / (shards * 2) >= 64 &&
+           (shards < hw ||
+            padded_shard_bytes(n, shards, options_.layout_extra) > kHalfL1)) {
+      shards <<= 1;
+    }
+  } else {
+    while (shards < options_.shards) shards <<= 1;  // round up to power of two
+    while (shards > 1 && shards > n) shards >>= 1;
+  }
+
+  shard_n_ = (n + shards - 1) / shards;
+  shard_mask_ = shards - 1;
+  shard_shift_ = 0;
+  for (std::uint64_t s = shards; s > 1; s >>= 1) ++shard_shift_;
+  shards_.reserve(shards);
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_n_, options_.layout_extra,
+                                              options_.arena_layout));
+  }
+  shard_stride_ = shards_[0]->layout.total();
+  capacity_ = shard_stride_ << shard_shift_;
+}
+
+Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
+                                  Xoshiro256& rng, bool& late) {
+  const FlatProbeSchedule::Slot* const first = shard.schedule.begin();
+  for (const auto* slot = first; slot != shard.schedule.end(); ++slot) {
+    const std::uint64_t x = slot->offset + rng.below(slot->size);
+    if (shard.arena.test_and_set(x)) {
+      late = (slot - first) >= kMigrateThreshold;
+      // Interleaved encoding: local * S + shard, so decode is shift/mask.
+      return static_cast<Name>((x << shard_shift_) | shard_index);
+    }
+  }
+  return -1;
+}
+
+Name RenamingService::acquire() {
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  const std::uint64_t S = shard_mask_ + 1;
+  // Fast path: the sticky shard; on pressure (late win) migrate ringward,
+  // on a full miss steal ringward, so loaded shards shed to neighbours.
+  for (std::uint64_t k = 0; k < S; ++k) {
+    const std::uint64_t si = (per.shard + k) & shard_mask_;
+    bool late = false;
+    const Name name = probe_shard(*shards_[si], si, ctx.rng, late);
+    if (name >= 0) {
+      if (k != 0) {
+        per.shard = static_cast<std::uint32_t>(si);
+      } else if (late) {
+        per.shard = static_cast<std::uint32_t>((si + 1) & shard_mask_);
+      }
+      RegisteredCounter::add(*per.counter, 1);
+      return name;
+    }
+  }
+  // Every schedule missed (probability 1/n^(beta-o(1)) per shard unless
+  // the namespace really is near-exhausted): deterministic sweep, so
+  // acquire() fails only when zero cells are free.
+  for (std::uint64_t k = 0; k < S; ++k) {
+    const std::uint64_t si = (per.shard + k) & shard_mask_;
+    Shard& shard = *shards_[si];
+    for (std::uint64_t u = 0; u < shard_stride_; ++u) {
+      if (shard.arena.test_and_set(u)) {
+        per.shard = static_cast<std::uint32_t>(si);
+        RegisteredCounter::add(*per.counter, 1);
+        return static_cast<Name>((u << shard_shift_) | si);
+      }
+    }
+  }
+  return -1;
+}
+
+bool RenamingService::release(Name name) {
+  if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) return false;
+  const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
+  const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
+  if (!shards_[si]->arena.try_release(local)) return false;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  RegisteredCounter::add(*per.counter, -1);
+  return true;
+}
+
+void RenamingService::reset() {
+  for (auto& shard : shards_) shard->arena.reset();
+  live_.reset();
+}
+
+std::uint64_t RenamingService::home_shard() const {
+  return thread_ctx(options_.seed).slot & shard_mask_;
+}
+
+}  // namespace loren

@@ -1,0 +1,150 @@
+// RenamingService: sharded long-lived loose renaming as a service.
+//
+// The ConcurrentRenamer is one ReBatching object over one arena: every
+// thread probes the same B_0, and under churn all acquisitions funnel
+// through one probe geometry and one set of hot lines. The service splits
+// the namespace into S shards (a power of two), each an independent
+// cache-line-padded TasArena with its own flattened ReBatching layout
+// sized for n/S holders. A thread probes a *sticky* shard — initially its
+// home shard, a cheap dense thread hash — so disjoint thread groups run
+// on disjoint memory, and S is chosen so one padded shard fits in L1:
+// under churn a thread's entire probe target stays cache-resident, which
+// a single (1+eps)n-cell arena can never be. When a shard runs hot (wins
+// start arriving late in the probe schedule) the thread migrates to the
+// next shard in ring order; when a schedule misses outright it steals
+// from the neighbours; and after all S schedules miss it falls back to a
+// deterministic sweep of every cell, so acquire() fails only when the
+// whole namespace is exhausted.
+//
+// Names are interleaved across shards — name = local * S + shard — so
+// mapping a name back to its shard is a mask, not a division, and the
+// namespace stays exactly [0, S * (1+eps)ceil(n/S) + O(S)).
+//
+// Guarantees (cf. the long-lived variant in Aspnes's notes, and [16, 20]
+// in the paper's related work):
+//   * uniqueness — names are handed out by per-cell TAS, so a name is
+//     held by at most one caller at any time, globally across shards;
+//   * namespace — every name is < capacity() = S * (1+eps)ceil(n/S) + O(S)
+//     (each shard's layout rounds its batches independently);
+//   * per-acquisition step bounds — while a shard serves at most n/S
+//     concurrent holders, an acquisition that stays on its sticky shard
+//     performs log2 log2 (n/S) + O(1) probes w.h.p.; migration/stealing
+//     adds one schedule walk per visited shard.
+//
+// Hot-path engineering (measured in bench/bench_throughput.cpp):
+//   * one thread_local context per call — cached Xoshiro256, thread slot,
+//     shard hints, and counter node behind a single TLS access; the
+//     per-call reseed-from-ticket of ConcurrentRenamer::get_name_direct
+//     (a shared fetch_add + six SplitMix64 rounds per acquisition)
+//     happens once per thread here;
+//   * padded L1-sized arenas — concurrent wins on distinct names never
+//     share a cache line, and a sticky thread's probes stay in L1;
+//   * registered per-thread live counter — bookkeeping is a plain store
+//     to a thread-owned cache line, not a locked RMW, and acquire/release
+//     never serialize on one cell;
+//   * shift/mask name decoding — release() does no division.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/rng.h"
+#include "platform/registered_counter.h"
+#include "renaming/batch_layout.h"
+#include "renaming/probe_schedule.h"
+#include "sim/env.h"
+#include "tas/tas_arena.h"
+
+namespace loren {
+
+struct RenamingServiceOptions {
+  double epsilon = 0.5;
+  /// Number of shards, rounded up to a power of two. 0 = auto: enough
+  /// shards that (a) hardware threads get distinct home shards and (b) a
+  /// padded shard arena fits in half an L1d (32 KiB), clamped so every
+  /// shard still serves >= 64 holders.
+  std::uint64_t shards = 0;
+  ArenaLayout arena_layout = ArenaLayout::kPadded;
+  std::uint64_t seed = 0x53ED;
+  BatchLayoutParams layout_extra{};
+};
+
+class RenamingService {
+ public:
+  /// Serves up to `n` concurrent holders from a ~(1+eps)n namespace.
+  explicit RenamingService(std::uint64_t n, RenamingServiceOptions options = {});
+
+  /// Unique name in [0, capacity()), or -1 iff the namespace is exhausted.
+  /// Safe to call from any thread; lock-free (the slow path is a bounded
+  /// sweep, never a wait).
+  sim::Name acquire();
+
+  /// Frees `name` for reacquisition. Returns false (and changes nothing)
+  /// when the name is not currently held — a double release or a foreign
+  /// value; single-RMW validation, so concurrent double releases cannot
+  /// both succeed.
+  bool release(sim::Name name);
+
+  /// O(S) full reset: epoch-bumps every shard arena and zeroes the live
+  /// counter. Not safe concurrently with acquire/release — quiesce first.
+  void reset();
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::uint64_t shard_holders() const { return shard_n_; }
+  [[nodiscard]] ArenaLayout arena_layout() const { return options_.arena_layout; }
+  /// Approximate while calls are in flight, exact at quiescence (after
+  /// the workers have been joined or otherwise synchronized).
+  [[nodiscard]] std::uint64_t names_live() const {
+    const std::int64_t live = live_.sum();
+    return live > 0 ? static_cast<std::uint64_t>(live) : 0;
+  }
+  /// The shard acquire() tries first on this thread before any migration
+  /// (for tests).
+  [[nodiscard]] std::uint64_t home_shard() const;
+
+ private:
+  struct Shard {
+    Shard(std::uint64_t holders, const BatchLayoutParams& params,
+          ArenaLayout arena_layout)
+        : layout(holders, params),
+          schedule(layout),
+          arena(layout.total(), arena_layout) {}
+
+    BatchLayout layout;
+    FlatProbeSchedule schedule;
+    TasArena arena;
+  };
+
+  /// Wins arriving at or past this probe position mean the shard is
+  /// running hot (expected position under the analysis' load is O(1)),
+  /// and the caller's sticky hint migrates to the next shard.
+  static constexpr std::ptrdiff_t kMigrateThreshold = 8;
+
+  /// Walk one shard's flattened probe schedule. Returns the interleaved
+  /// global name, or -1 on a full miss; sets `late` when the win arrived
+  /// at or past kMigrateThreshold.
+  sim::Name probe_shard(Shard& shard, std::uint64_t shard_index,
+                        Xoshiro256& rng, bool& late);
+
+  RenamingServiceOptions options_;
+  /// Process-unique instance id. Per-thread caches (sticky shard hint,
+  /// counter node) are keyed by this, never by `this`: a new service
+  /// placed at a recycled address must not inherit another instance's
+  /// cached state — in particular a counter node pointing into a freed
+  /// registry.
+  std::uint64_t id_;
+  std::uint64_t shard_n_ = 0;       // holders each shard is laid out for
+  std::uint64_t shard_stride_ = 0;  // cells per shard (equal across shards)
+  std::uint64_t shard_mask_ = 0;    // num_shards - 1 (power of two)
+  std::uint32_t shard_shift_ = 0;   // log2(num_shards)
+  std::uint64_t capacity_ = 0;
+  /// unique_ptr per shard: Shard owns a TasArena (non-movable storage) and
+  /// each arena's cell block is independently allocated, so shards never
+  /// share an allocation, let alone a cache line.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  RegisteredCounter live_;
+};
+
+}  // namespace loren

@@ -2,17 +2,25 @@
 // lets the coroutine algorithms run unchanged on real threads.
 //
 // TAS is exchange(1) on a 64-bit cell ("win" iff the previous value was 0,
-// exactly the paper's semantics); reads/writes are seq_cst so the
-// read-write TAS substrates are linearizable on hardware too.
+// exactly the paper's semantics). The exchange is acq_rel, not seq_cst:
+// a TAS object is linearizable as long as all operations on the *same*
+// cell are totally ordered, which every atomic RMW already guarantees via
+// the cell's modification order; acq_rel additionally makes the winning
+// exchange a synchronizes-with edge so data published before a win is
+// visible to any process that later observes the cell taken. seq_cst
+// would only add a single total order *across different cells*, which no
+// algorithm in this library relies on — each probe's control flow depends
+// only on that one cell's outcome. (See DESIGN.md, "Memory-order
+// weakening".) Plain read/write stay seq_cst: they also serve the
+// read-write-register TAS protocols (rw_tas.*), whose proofs assume
+// sequentially consistent registers.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <stdexcept>
 
-#include "platform/rng.h"
-#include "sim/env.h"
+#include "tas/direct_env.h"
 
 namespace loren {
 
@@ -25,7 +33,7 @@ class AtomicTasArray {
 
   /// Returns true iff this call won the TAS (flipped the cell from 0).
   bool test_and_set(std::uint64_t i) {
-    return cells_[i].exchange(1, std::memory_order_seq_cst) == 0;
+    return cells_[i].exchange(1, std::memory_order_acq_rel) == 0;
   }
   [[nodiscard]] std::uint64_t read(std::uint64_t i) const {
     return cells_[i].load(std::memory_order_seq_cst);
@@ -34,9 +42,17 @@ class AtomicTasArray {
     cells_[i].store(v, std::memory_order_seq_cst);
   }
 
+  /// Atomically clears cell `i` and returns its previous value (the
+  /// race-free primitive for long-lived release: the caller can validate
+  /// that the cell really was held without a check-then-act window).
+  std::uint64_t exchange_clear(std::uint64_t i) {
+    return cells_[i].exchange(0, std::memory_order_acq_rel);
+  }
+
   [[nodiscard]] std::uint64_t size() const { return size_; }
 
   /// Not thread-safe; for reuse between single-threaded experiment rounds.
+  /// O(size) — TasArena (tas_arena.h) resets in O(1) via an epoch bump.
   void reset() {
     for (std::uint64_t i = 0; i < size_; ++i) {
       cells_[i].store(0, std::memory_order_relaxed);
@@ -50,53 +66,7 @@ class AtomicTasArray {
 };
 
 /// An Env whose shared-memory operations execute immediately on an
-/// AtomicTasArray. One DirectEnv per thread (it owns that thread's random
-/// stream and step counter); the array is the shared substrate.
-class DirectEnv final : public sim::Env {
- public:
-  DirectEnv(AtomicTasArray& memory, std::uint64_t seed, sim::ProcessId pid)
-      : memory_(&memory), rng_(mix_seed(seed, pid)), pid_(pid) {}
-
-  [[nodiscard]] bool immediate() const override { return true; }
-
-  std::uint64_t execute_now(sim::OpKind kind, sim::Location loc,
-                            std::uint64_t write_value) override {
-    ++steps_;
-    switch (kind) {
-      case sim::OpKind::kTas:
-        return memory_->test_and_set(loc) ? 1 : 0;
-      case sim::OpKind::kRead:
-        return memory_->read(loc);
-      case sim::OpKind::kWrite:
-        memory_->write(loc, write_value);
-        return 0;
-    }
-    return 0;  // unreachable
-  }
-
-  void post(sim::PendingOp) override {
-    throw std::logic_error("DirectEnv never parks operations");
-  }
-
-  std::uint64_t random_below(std::uint64_t bound) override {
-    return rng_.below(bound);
-  }
-
-  void ensure_locations(std::uint64_t count) override {
-    if (count > memory_->size()) {
-      throw std::length_error(
-          "DirectEnv: algorithm needs more locations than were preallocated");
-    }
-  }
-
-  [[nodiscard]] sim::ProcessId current_pid() const override { return pid_; }
-  [[nodiscard]] std::uint64_t steps() const { return steps_; }
-
- private:
-  AtomicTasArray* memory_;
-  Xoshiro256 rng_;
-  sim::ProcessId pid_;
-  std::uint64_t steps_ = 0;
-};
+/// AtomicTasArray (see BasicDirectEnv in direct_env.h).
+using DirectEnv = BasicDirectEnv<AtomicTasArray>;
 
 }  // namespace loren

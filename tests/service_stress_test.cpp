@@ -1,0 +1,215 @@
+// Real-thread stress tests for the sharded RenamingService: global
+// uniqueness and namespace bounds under acquire/release churn across
+// shards, epoch-reset correctness, and the overflow/steal path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "platform/rng.h"
+#include "renaming/service.h"
+
+namespace loren {
+namespace {
+
+RenamingServiceOptions sharded(std::uint64_t shards,
+                               ArenaLayout layout = ArenaLayout::kPadded) {
+  RenamingServiceOptions opts;
+  opts.shards = shards;
+  opts.arena_layout = layout;
+  return opts;
+}
+
+TEST(RenamingService, SingleThreadFillsWholeNamespace) {
+  RenamingService service(256, sharded(4));
+  EXPECT_EQ(service.num_shards(), 4u);
+  std::set<sim::Name> names;
+  for (std::uint64_t i = 0; i < service.capacity(); ++i) {
+    const sim::Name name = service.acquire();
+    ASSERT_GE(name, 0) << "exhausted after " << i << " of "
+                       << service.capacity();
+    ASSERT_LT(static_cast<std::uint64_t>(name), service.capacity());
+    ASSERT_TRUE(names.insert(name).second) << "duplicate " << name;
+  }
+  EXPECT_EQ(service.acquire(), -1) << "acquired beyond capacity";
+  EXPECT_EQ(service.names_live(), service.capacity());
+}
+
+TEST(RenamingService, ReleaseValidates) {
+  RenamingService service(64, sharded(2));
+  const sim::Name name = service.acquire();
+  ASSERT_GE(name, 0);
+  EXPECT_FALSE(service.release(-1));
+  EXPECT_FALSE(service.release(static_cast<sim::Name>(service.capacity())));
+  EXPECT_TRUE(service.release(name));
+  EXPECT_FALSE(service.release(name)) << "double release succeeded";
+  EXPECT_EQ(service.names_live(), 0u);
+}
+
+TEST(RenamingService, EpochResetMakesStaleCellsWinnable) {
+  RenamingService service(64, sharded(4));
+  std::vector<sim::Name> first;
+  for (int i = 0; i < 64; ++i) {
+    const sim::Name name = service.acquire();
+    ASSERT_GE(name, 0);
+    first.push_back(name);
+  }
+  service.reset();
+  EXPECT_EQ(service.names_live(), 0u);
+  // Stale-generation cells must be winnable: the full namespace is
+  // acquirable again, including every name held before the reset.
+  std::set<sim::Name> names;
+  for (std::uint64_t i = 0; i < service.capacity(); ++i) {
+    const sim::Name name = service.acquire();
+    ASSERT_GE(name, 0) << "stale cell not winnable after epoch reset";
+    ASSERT_TRUE(names.insert(name).second);
+  }
+  for (const sim::Name name : first) {
+    EXPECT_TRUE(names.count(name)) << "pre-reset name " << name
+                                   << " unreachable after reset";
+  }
+}
+
+// The core stress: T real threads churn acquire/release; every acquired
+// name is tagged in a shared owner table with compare-exchange, so any
+// uniqueness violation (two concurrent holders of one name) trips the CAS.
+void churn_stress(std::uint64_t n, std::uint64_t shards, ArenaLayout layout,
+                  int threads, int iters_per_thread) {
+  RenamingService service(n, sharded(shards, layout));
+  const std::uint64_t capacity = service.capacity();
+  std::vector<std::atomic<int>> owner(capacity);
+  for (auto& o : owner) o.store(-1);
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> exhausted{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng(0xC0FFEE + t);
+      std::vector<sim::Name> held;
+      // Keep 8..48 names held: an unbounded coin-flip walk would let the
+      // total live set wander past n, where exhaustion is legitimate and
+      // outside the long-lived contract (at most n concurrent holders).
+      constexpr std::size_t kMaxHeld = 48;
+      for (int i = 0; i < iters_per_thread; ++i) {
+        if (held.size() < 8 ||
+            (held.size() < kMaxHeld && rng.below(2) == 0)) {
+          const sim::Name name = service.acquire();
+          if (name < 0) {
+            ++exhausted;
+            continue;
+          }
+          if (static_cast<std::uint64_t>(name) >= capacity) {
+            ++violations;  // namespace bound broken
+            continue;
+          }
+          int expected = -1;
+          if (!owner[name].compare_exchange_strong(expected, t)) {
+            ++violations;  // uniqueness broken: someone already holds it
+          } else {
+            held.push_back(name);
+          }
+        } else {
+          const sim::Name name = held.back();
+          held.pop_back();
+          int expected = t;
+          if (!owner[name].compare_exchange_strong(expected, -1)) {
+            ++violations;
+          }
+          if (!service.release(name)) ++violations;  // we do hold it
+        }
+      }
+      for (const sim::Name name : held) {
+        owner[name].store(-1);
+        if (!service.release(name)) ++violations;
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  // Total concurrent holders stay under n (<= kMaxHeld per thread), so
+  // the namespace should never have been exhausted.
+  EXPECT_EQ(exhausted.load(), 0u);
+  EXPECT_EQ(service.names_live(), 0u) << "live counter drifted";
+}
+
+TEST(RenamingServiceStress, ChurnAcrossShardsPadded) {
+  churn_stress(/*n=*/512, /*shards=*/4, ArenaLayout::kPadded, /*threads=*/8,
+               /*iters=*/20000);
+}
+
+TEST(RenamingServiceStress, ChurnAcrossShardsPacked) {
+  churn_stress(/*n=*/512, /*shards=*/8, ArenaLayout::kPacked, /*threads=*/8,
+               /*iters=*/20000);
+}
+
+TEST(RenamingServiceStress, ChurnSingleShard) {
+  churn_stress(/*n=*/256, /*shards=*/1, ArenaLayout::kPadded, /*threads=*/4,
+               /*iters=*/20000);
+}
+
+TEST(RenamingServiceStress, OverflowStealsFromNeighbours) {
+  // More concurrent holders than one shard serves: threads must steal
+  // across shards, and every name must still be unique and in range.
+  RenamingService service(256, sharded(4));
+  const std::uint64_t per_shard = service.shard_holders();
+  ASSERT_LT(per_shard, 256u);
+  constexpr int kThreads = 4;
+  // Collectively hold ~85% of capacity so some shards must overflow.
+  const std::uint64_t target = service.capacity() * 85 / 100 / kThreads;
+  std::vector<std::vector<sim::Name>> held(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < target; ++i) {
+        const sim::Name name = service.acquire();
+        if (name >= 0) held[t].push_back(name);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  std::set<sim::Name> all;
+  for (const auto& names : held) {
+    for (const sim::Name name : names) {
+      ASSERT_LT(static_cast<std::uint64_t>(name), service.capacity());
+      ASSERT_TRUE(all.insert(name).second) << "duplicate " << name;
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(target) * kThreads);
+  EXPECT_EQ(service.names_live(), all.size());
+}
+
+TEST(RenamingService, AutoShardingPicksPowerOfTwo) {
+  RenamingService service(1u << 14, RenamingServiceOptions{});
+  const std::uint64_t s = service.num_shards();
+  EXPECT_GE(s, 1u);
+  EXPECT_EQ(s & (s - 1), 0u) << "shard count not a power of two";
+  EXPECT_GE(service.shard_holders(), 64u);
+  EXPECT_GE(service.capacity(), 1u << 14);
+}
+
+TEST(RenamingService, ResetUnderRepeatedRounds) {
+  // The bench-pool pattern: fill to 60%, reset, refill — across rounds the
+  // service must keep producing unique names without reallocation.
+  RenamingService service(128, sharded(4));
+  const std::uint64_t threshold = service.capacity() * 6 / 10;
+  for (int round = 0; round < 50; ++round) {
+    std::set<sim::Name> names;
+    for (std::uint64_t i = 0; i < threshold; ++i) {
+      const sim::Name name = service.acquire();
+      ASSERT_GE(name, 0);
+      ASSERT_TRUE(names.insert(name).second)
+          << "duplicate in round " << round;
+    }
+    service.reset();
+  }
+}
+
+}  // namespace
+}  // namespace loren
