@@ -22,6 +22,14 @@
 // every time it hits 60% fill — an O(1) epoch bump vs the seed's O(m)
 // reallocation — and a reset() microbenchmark.
 //
+// burst-drain: a thread ramp 1 -> N -> 1 (one phase per step, each phase
+// its own JSON row as burst-drain-up / burst-drain-down) where active
+// workers hold a 64-name window. Run against the fixed sharded service
+// (provisioned for peak forever) and the ElasticRenamingService starting
+// at 64 holders with auto-grow + auto-shrink: the ramp up forces grow
+// events, the drain forces shrink + reclamation, and the JSON records the
+// resize trajectory (elastic_* derived keys).
+//
 // The worker loops are templated on the concrete renamer type so the
 // hot path inlines; a type-erased harness (std::function per op) would
 // tax every variant by a constant and compress the ratios.
@@ -40,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "elastic/elastic_service.h"
 #include "platform/rng.h"
 #include "renaming/batch_layout.h"
 #include "renaming/concurrent.h"
@@ -136,6 +145,8 @@ struct alignas(64) WorkerCount {
   std::uint64_t failed = 0;
 };
 
+void print_row(const Result& r);
+
 // ------------------------------------------------------------- scenarios --
 // Workers only ever release names they themselves hold, so a uniqueness
 // violation would surface as a failed (double) release.
@@ -218,6 +229,107 @@ void fill_reset_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
     if (r.acquire() < 0) ++c.failed;
     ++c.ops;
   }
+}
+
+// ------------------------------------------------------- burst/drain ----
+
+/// One phase of the 1 -> N -> 1 thread ramp. Worker t participates in a
+/// phase iff t < active; parked workers release their window and idle, so
+/// a drain phase really does collapse the live-name demand (which is what
+/// lets the elastic service shrink).
+template <class R>
+void burst_drain_worker(R& r, unsigned t, const std::atomic<unsigned>& active,
+                        const std::atomic<bool>& stop,
+                        std::atomic<std::uint64_t>& ops,
+                        std::atomic<std::uint64_t>& failed) {
+  constexpr std::size_t kWindow = 64;
+  std::vector<std::int64_t> held;
+  held.reserve(kWindow);
+  std::size_t next = 0;  // ring index: steady churn, not a sawtooth
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (t >= active.load(std::memory_order_relaxed)) {
+      for (const std::int64_t n : held) r.release(n);
+      held.clear();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    if (held.size() < kWindow) {
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      held.push_back(name);
+    } else {
+      // Full window: replace one name, oldest-first, so an active worker
+      // keeps a steady ~kWindow live demand and the only drains are the
+      // ramp's (parked workers releasing their whole window).
+      r.release(held[next]);
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        held[next] = held.back();
+        held.pop_back();
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      held[next] = name;
+      next = (next + 1) % kWindow;
+    }
+    ops.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const std::int64_t n : held) r.release(n);
+}
+
+/// Runs the ramp [1, 2, ..., N, ..., 2, 1] (powers of two), one phase per
+/// step of `phase_ms`; each phase is recorded as its own Result so the
+/// JSON shows throughput across the whole burst and drain. The renamer is
+/// taken by reference so the caller can inspect it afterwards (the
+/// elastic service reports its resize trajectory).
+template <class R>
+void bench_burst_drain(const std::string& vname, R& renamer,
+                       unsigned max_threads, int phase_ms,
+                       std::vector<Result>& out) {
+  std::vector<unsigned> ramp;
+  for (unsigned u = 1; u < max_threads; u <<= 1) ramp.push_back(u);
+  ramp.push_back(max_threads);
+  const std::size_t peak_index = ramp.size() - 1;
+  for (unsigned u = max_threads >> 1; u >= 1; u >>= 1) ramp.push_back(u);
+
+  R* r = &renamer;
+  std::atomic<unsigned> active{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::atomic<std::uint64_t>> ops(max_threads);
+  std::vector<std::atomic<std::uint64_t>> failed(max_threads);
+  std::vector<std::thread> pool;
+  pool.reserve(max_threads);
+  for (unsigned t = 0; t < max_threads; ++t) {
+    pool.emplace_back([&, t] {
+      burst_drain_worker(*r, t, active, stop, ops[t], failed[t]);
+    });
+  }
+
+  auto total = [&](std::vector<std::atomic<std::uint64_t>>& v) {
+    std::uint64_t s = 0;
+    for (auto& x : v) s += x.load(std::memory_order_relaxed);
+    return s;
+  };
+  for (std::size_t p = 0; p < ramp.size(); ++p) {
+    const std::uint64_t ops0 = total(ops);
+    const std::uint64_t failed0 = total(failed);
+    active.store(ramp[p], std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(phase_ms));
+    const auto t1 = Clock::now();
+    Result res{p <= peak_index ? "burst-drain-up" : "burst-drain-down", vname,
+               ramp[p]};
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    res.ops = total(ops) - ops0;
+    res.failed_acquires = total(failed) - failed0;
+    out.push_back(res);
+    print_row(out.back());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
 }
 
 /// Runs `body(thread_index, stop, count)` on `threads` workers for
@@ -310,8 +422,35 @@ std::string fmt1(double v) {
   return buf;
 }
 
+/// First "model name" line of /proc/cpuinfo; "unknown" off-Linux. Bench
+/// numbers are meaningless without knowing the part they ran on.
+std::string cpu_model() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[256];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        model = colon + 1;
+        while (!model.empty() && (model.front() == ' ' || model.front() == '\t')) {
+          model.erase(model.begin());
+        }
+        while (!model.empty() && (model.back() == '\n' || model.back() == '"')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
 void write_json(const std::string& path, std::uint64_t n, double eps,
-                int duration_ms, const std::vector<Result>& results,
+                int duration_ms, const std::vector<unsigned>& thread_counts,
+                const std::vector<Result>& results,
                 const std::vector<std::pair<std::string, double>>& resets,
                 std::uint64_t reset_cells,
                 const std::vector<std::pair<std::string, double>>& derived) {
@@ -323,6 +462,12 @@ void write_json(const std::string& path, std::uint64_t n, double eps,
   std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
   std::fprintf(f, "  \"hw_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"cpu_model\": \"%s\",\n", cpu_model().c_str());
+  std::fprintf(f, "  \"thread_counts\": [");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(f, "%s%u", i > 0 ? ", " : "", thread_counts[i]);
+  }
+  std::fprintf(f, "],\n");
   std::fprintf(f, "  \"n\": %llu,\n  \"epsilon\": %.3f,\n",
                static_cast<unsigned long long>(n), eps);
   std::fprintf(f, "  \"duration_ms\": %d,\n", duration_ms);
@@ -430,6 +575,31 @@ int main(int argc, char** argv) {
                 [&] { return make_service(1, ArenaLayout::kPadded); },
                 thread_counts, duration_ms, n, results);
 
+  // ---- burst/drain ramp: fixed peak provisioning vs elastic ------------
+  const unsigned ramp_peak = thread_counts.back();
+  const int phase_ms = std::max(duration_ms / 2, quick ? 30 : 100);
+  {
+    auto fixed = make_service(service_shards, ArenaLayout::kPadded);
+    bench_burst_drain("service-sharded", *fixed, ramp_peak, phase_ms, results);
+  }
+  std::uint64_t elastic_grows = 0, elastic_shrinks = 0, elastic_reclaims = 0,
+                elastic_final_holders = 0;
+  {
+    loren::ElasticOptions eopts;
+    eopts.epsilon = eps;
+    eopts.min_holders = 64;
+    eopts.max_holders = n;
+    eopts.auto_grow = true;
+    eopts.auto_shrink = true;
+    loren::ElasticRenamingService elastic(64, eopts);
+    bench_burst_drain("elastic", elastic, ramp_peak, phase_ms, results);
+    elastic.reclaim();
+    elastic_grows = elastic.grow_events();
+    elastic_shrinks = elastic.shrink_events();
+    elastic_reclaims = elastic.reclaimed_groups();
+    elastic_final_holders = elastic.holders();
+  }
+
   // ---- reset microbenchmark: O(m) reallocation vs O(1) epoch bump ------
   const std::uint64_t m = loren::BatchLayout(n, eps).total();
   std::vector<std::pair<std::string, double>> resets;
@@ -485,10 +655,21 @@ int main(int argc, char** argv) {
         items("fill-reset-pool", "service-sharded", 1) / seed_fill);
   }
   derived.emplace_back("peak_threads", peak);
+  // The elastic resize trajectory over the burst/drain ramp: grows on the
+  // way up, shrinks + reclaims on the way down, holders back at the floor.
+  derived.emplace_back("elastic_grow_events",
+                       static_cast<double>(elastic_grows));
+  derived.emplace_back("elastic_shrink_events",
+                       static_cast<double>(elastic_shrinks));
+  derived.emplace_back("elastic_reclaimed_groups",
+                       static_cast<double>(elastic_reclaims));
+  derived.emplace_back("elastic_final_holders",
+                       static_cast<double>(elastic_final_holders));
   std::printf("\n");
   for (const auto& [k, vd] : derived) std::printf("%s = %.3f\n", k.c_str(), vd);
 
-  write_json(out, n, eps, duration_ms, results, resets, m, derived);
+  write_json(out, n, eps, duration_ms, thread_counts, results, resets, m,
+             derived);
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

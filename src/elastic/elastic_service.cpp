@@ -1,0 +1,319 @@
+#include "elastic/elastic_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "renaming/service.h"  // auto_shard_count
+#include "renaming/thread_ctx.h"
+
+namespace {
+
+/// Per-(thread, service) hot-path state: this thread's epoch slot in the
+/// service's domain, its sticky shard hint (masked down when the live
+/// group has fewer shards — after a resize the hint is merely stale,
+/// never wrong), and the release-path maintenance sample counter.
+struct PerElastic {
+  loren::EpochDomain::Slot* slot = nullptr;
+  std::uint32_t shard = 0;
+  std::uint32_t sample = 0;
+};
+
+struct ThreadCtx {
+  std::uint64_t tslot;
+  loren::Xoshiro256 rng;
+  loren::PerServiceTable<PerElastic> services;
+
+  ThreadCtx(std::uint64_t seed, std::uint64_t s)
+      : tslot(s), rng(loren::mix_seed(seed, s)) {}
+};
+
+ThreadCtx& thread_ctx(std::uint64_t seed) {
+  thread_local ThreadCtx ctx(seed, loren::dense_thread_slot());
+  return ctx;
+}
+
+loren::BatchLayoutParams with_epsilon(loren::BatchLayoutParams p, double eps) {
+  p.epsilon = eps;
+  return p;
+}
+
+}  // namespace
+
+namespace loren {
+
+using sim::Name;
+
+ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
+                                               ElasticOptions options)
+    : options_(options),
+      min_holders_(options.min_holders != 0 ? options.min_holders
+                                            : initial_holders),
+      id_(next_service_instance_id()),
+      schedules_(with_epsilon(options.layout_extra, options.epsilon)) {
+  if (initial_holders == 0) {
+    throw std::invalid_argument("ElasticRenamingService: n must be >= 1");
+  }
+  if (min_holders_ > options_.max_holders) {
+    throw std::invalid_argument(
+        "ElasticRenamingService: min_holders > max_holders");
+  }
+  const std::uint64_t initial =
+      std::clamp(initial_holders, min_holders_, options_.max_holders);
+
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  const std::uint64_t shards =
+      shard_count_for(initial, options_.shards, schedules_.params());
+  const std::uint64_t shard_n = (initial + shards - 1) / shards;
+  auto group = std::make_unique<ShardGroup>(
+      /*tag=*/0, /*generation=*/1, initial, shards, options_.arena_layout,
+      schedules_.get(shard_n));
+  ShardGroup* raw = group.get();
+  live_local_capacity_.store(raw->local_capacity(), std::memory_order_release);
+  live_holders_.store(initial, std::memory_order_release);
+  groups_[0].store(raw, std::memory_order_release);
+  live_group_.store(raw, std::memory_order_release);
+  generation_.store(1, std::memory_order_release);
+  linked_.push_back(std::move(group));
+}
+
+ElasticRenamingService::~ElasticRenamingService() = default;
+
+Name ElasticRenamingService::acquire() {
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
+    p.slot = &domain_.register_thread();
+    p.shard = static_cast<std::uint32_t>(ctx.tslot);
+  });
+
+  // Bounded by the doubling ladder: each failed round either resized the
+  // service or returns -1, so the loop runs O(log2(max/min)) times worst
+  // case; 40 covers the full default range with margin.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    std::uint64_t seen_gen;
+    {
+      EpochDomain::Guard guard(domain_, *per.slot);
+      // Generation before group: if a resize lands between the two loads
+      // we hold (old gen, new group) and a miss leads grow_from() to a
+      // gen mismatch — a harmless retry. The other order would pair a
+      // stale full group with the *current* gen and let one pressure
+      // event double capacity twice.
+      seen_gen = generation_.load(std::memory_order_acquire);
+      ShardGroup* g = live_group_.load(std::memory_order_acquire);
+      const std::int64_t local = g->try_acquire(ctx.rng, &per.shard);
+      if (local >= 0) {
+        g->note_acquired();
+        // A schedule win ends any miss streak: pressure must be sustained
+        // (uninterrupted misses) to trigger an automatic grow.
+        if (miss_streak_.load(std::memory_order_relaxed) != 0) {
+          miss_streak_.store(0, std::memory_order_relaxed);
+        }
+        return static_cast<Name>(encode(local, g->tag()));
+      }
+    }
+    // Full schedule miss: record pressure, grow when it is sustained.
+    const std::uint32_t streak =
+        miss_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.auto_grow && streak >= options_.grow_miss_threshold &&
+        grow_from(seen_gen)) {
+      continue;
+    }
+    // Growth unavailable (or pressure not yet sustained): deterministic
+    // sweep so we fail only on true exhaustion of the live group.
+    {
+      EpochDomain::Guard guard(domain_, *per.slot);
+      ShardGroup* g = live_group_.load(std::memory_order_acquire);
+      const std::int64_t local = g->sweep_acquire(&per.shard);
+      if (local >= 0) {
+        g->note_acquired();
+        return static_cast<Name>(encode(local, g->tag()));
+      }
+    }
+    // True exhaustion: force a grow regardless of streak, or give up.
+    if (!options_.auto_grow || !grow_from(seen_gen)) return -1;
+  }
+  return -1;
+}
+
+bool ElasticRenamingService::release(Name name) {
+  if (name < 0) return false;
+  const std::uint32_t tag = static_cast<std::uint32_t>(name) & (kMaxGroups - 1);
+  const std::uint64_t local = static_cast<std::uint64_t>(name) >> kTagBits;
+
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
+    p.slot = &domain_.register_thread();
+    p.shard = static_cast<std::uint32_t>(ctx.tslot);
+  });
+  {
+    EpochDomain::Guard guard(domain_, *per.slot);
+    ShardGroup* g = groups_[tag].load(std::memory_order_acquire);
+    if (g == nullptr || !g->release_local(local)) return false;
+    g->note_released();
+  }
+  // Sampled maintenance: drive reclamation (and auto-shrink) forward
+  // without a background thread and without taxing every release.
+  if ((++per.sample & 63u) == 0) maintenance();
+  return true;
+}
+
+bool ElasticRenamingService::grow_from(std::uint64_t seen_gen) {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  if (generation_.load(std::memory_order_relaxed) != seen_gen) {
+    return true;  // someone already resized since the caller's miss
+  }
+  const std::uint64_t h = live_holders_.load(std::memory_order_relaxed);
+  if (h >= options_.max_holders) return false;
+  return resize_locked(std::min(h * 2, options_.max_holders));
+}
+
+bool ElasticRenamingService::grow() {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  const std::uint64_t h = live_holders_.load(std::memory_order_relaxed);
+  if (h >= options_.max_holders) return false;
+  return resize_locked(std::min(h * 2, options_.max_holders));
+}
+
+bool ElasticRenamingService::shrink() {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  const std::uint64_t h = live_holders_.load(std::memory_order_relaxed);
+  return resize_locked(std::max(h / 2, min_holders_));
+}
+
+bool ElasticRenamingService::resize(std::uint64_t holders) {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  return resize_locked(holders);
+}
+
+bool ElasticRenamingService::resize_locked(std::uint64_t target) {
+  target = std::clamp(target, min_holders_, options_.max_holders);
+  ShardGroup* cur = live_group_.load(std::memory_order_relaxed);
+  if (target == cur->holders()) return false;
+  // Free tag slots before looking for one: a long-drained retiree should
+  // never block a resize.
+  reclaim_locked();
+  const int tag = find_free_tag_locked();
+  if (tag < 0) return false;  // kMaxGroups generations still in flight
+
+  const std::uint64_t shards =
+      shard_count_for(target, options_.shards, schedules_.params());
+  const std::uint64_t shard_n = (target + shards - 1) / shards;
+  const std::uint64_t gen =
+      generation_.load(std::memory_order_relaxed) + 1;
+  auto group = std::make_unique<ShardGroup>(
+      static_cast<std::uint32_t>(tag), gen, target, shards,
+      options_.arena_layout, schedules_.get(shard_n));
+  ShardGroup* raw = group.get();
+
+  // Publication order matters: the tag table entry must be visible before
+  // the live pointer (an acquisition from the new group may release
+  // immediately), and the retiring advance comes only after the swap so
+  // quiesced(retire_epoch) really means "no in-flight acquisition can
+  // still insert into the old group".
+  live_local_capacity_.store(raw->local_capacity(), std::memory_order_release);
+  live_holders_.store(target, std::memory_order_release);
+  groups_[static_cast<std::size_t>(tag)].store(raw, std::memory_order_release);
+  live_group_.store(raw, std::memory_order_release);
+  generation_.store(gen, std::memory_order_release);
+  cur->retire(domain_.advance());
+  linked_.push_back(std::move(group));
+
+  if (target > cur->holders()) {
+    grow_events_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shrink_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  miss_streak_.store(0, std::memory_order_relaxed);
+  low_streak_.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+int ElasticRenamingService::find_free_tag_locked() const {
+  for (std::uint32_t t = 0; t < kMaxGroups; ++t) {
+    if (groups_[t].load(std::memory_order_relaxed) == nullptr) {
+      return static_cast<int>(t);
+    }
+  }
+  return -1;
+}
+
+std::size_t ElasticRenamingService::reclaim_locked() {
+  // Stage A: a retiree is drained once (a) the retire epoch quiesced (no
+  // in-flight acquisition can still insert into it, so its live counter
+  // is monotonically non-increasing from here) and (b) the counter hit
+  // zero (no held names, so no legitimate release will look it up).
+  // Unlink it and give it a fresh epoch to wait out in limbo.
+  for (auto it = linked_.begin(); it != linked_.end();) {
+    ShardGroup* g = it->get();
+    if (g->retired() && domain_.quiesced(g->retire_epoch()) &&
+        g->live() <= 0) {
+      groups_[g->tag()].store(nullptr, std::memory_order_release);
+      const std::uint64_t e = domain_.advance();
+      limbo_.push_back(LimboEntry{std::move(*it), e});
+      it = linked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Stage B: limbo groups whose unlink epoch has quiesced — no release()
+  // can still hold a pointer read from the tag table — are freed. Runs
+  // after stage A so that with no readers in flight (quiescence is
+  // immediate) a single pass unlinks *and* frees.
+  std::size_t freed = 0;
+  for (auto it = limbo_.begin(); it != limbo_.end();) {
+    if (domain_.quiesced(it->unlink_epoch)) {
+      it = limbo_.erase(it);
+      ++freed;
+      reclaimed_groups_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+std::size_t ElasticRenamingService::reclaim() {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  return reclaim_locked();
+}
+
+void ElasticRenamingService::maintenance() {
+  std::unique_lock<std::mutex> lock(resize_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // someone else is already on it
+  reclaim_locked();
+  if (!options_.auto_shrink) return;
+  const std::uint64_t h = live_holders_.load(std::memory_order_relaxed);
+  if (h / 2 < min_holders_) return;
+  std::int64_t live = 0;
+  for (const auto& g : linked_) live += g->live();
+  if (live >= 0 && static_cast<std::uint64_t>(live) * 4 <= h) {
+    // Low watermark — but only shrink once it is *sustained* across
+    // consecutive samples, mirroring the grow-side miss streak.
+    const std::uint32_t streak =
+        low_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (streak >= options_.shrink_low_threshold) resize_locked(h / 2);
+  } else {
+    low_streak_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ElasticRenamingService::names_live() const {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::int64_t live = 0;
+  for (const auto& g : linked_) live += g->live();
+  return live > 0 ? static_cast<std::uint64_t>(live) : 0;
+}
+
+std::size_t ElasticRenamingService::groups_in_flight() const {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  return linked_.size();
+}
+
+std::uint64_t ElasticRenamingService::footprint_bytes() const {
+  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::uint64_t bytes = 0;
+  for (const auto& g : linked_) bytes += g->footprint_bytes();
+  for (const auto& e : limbo_) bytes += e.group->footprint_bytes();
+  return bytes;
+}
+
+}  // namespace loren

@@ -1,0 +1,220 @@
+// ElasticRenamingService: a contention-adaptive namespace that grows and
+// shrinks at runtime.
+//
+// The fixed RenamingService freezes n, shard count, and arena size at
+// construction, so a deployment serving bursty traffic must provision for
+// peak forever. This service makes capacity a runtime quantity — the
+// paper's "namespace proportional to actual contention" promise, carried
+// from the one-shot setting into a long-lived, resizable one (cf. the
+// long-lived/adaptive renaming chapters of Aspnes's notes):
+//
+//   * The live namespace is one ShardGroup (shard_group.h): a TasArena
+//     carved into sticky-probed shards under a ReBatching schedule sized
+//     for the group's holder count.
+//   * GROW: when acquisitions keep missing the whole probe schedule
+//     (a streak of `grow_miss_threshold` full misses with no intervening
+//     schedule win — "sustained pressure"), or when even the backstop
+//     sweep finds nothing, a group with double the holders is built,
+//     linked into the tag table, and published with one pointer store —
+//     an RCU-style swap; no acquisition ever blocks on a resize.
+//   * SHRINK: shrink() (or the sampled auto-shrink watermark) publishes a
+//     *smaller* group the same way. The old group is not torn down: it
+//     retires. New acquisitions only ever probe the live group, so the
+//     retiree only drains; a name acquired from generation g stays valid —
+//     release(name) finds g through the tag table — until its holder
+//     releases it, however many resizes have happened since.
+//   * RECLAIM: a retired group's memory is freed only after (a) the epoch
+//     domain quiesced past the retirement (no acquisition that might still
+//     insert into it is in flight), (b) its live counter drained to zero
+//     (no held names), and (c) a second quiescence after it is unlinked
+//     from the tag table (no release() can still be dereferencing it).
+//     See DESIGN.md, "Elastic renaming: the epoch-based resize protocol".
+//
+// Name encoding: name = (group_local << kTagBits) | tag. The tag selects
+// one of kMaxGroups (8) table slots, so release() decodes its group with a
+// mask — no search — and uniqueness across generations is structural:
+// distinct tags can never collide, and a tag is only reused after its
+// previous group was reclaimed (which requires zero held names). The cost
+// is namespace looseness: issued names are < capacity() =
+// local_capacity * 2^kTagBits, a constant factor over the (1+eps)-tight
+// fixed service. That is the price of elasticity here, and it is bounded
+// and documented rather than hidden (DESIGN.md discusses the tradeoff).
+//
+// Concurrency contract: acquire/release/grow/shrink/resize/reclaim are
+// safe from any thread. Destruction requires external quiescence (no
+// calls in flight), the same contract as the other services' reset().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "elastic/shard_group.h"
+#include "platform/epoch.h"
+#include "renaming/batch_layout.h"
+#include "renaming/schedule_cache.h"
+#include "sim/env.h"
+#include "tas/tas_arena.h"
+
+namespace loren {
+
+struct ElasticOptions {
+  double epsilon = 0.5;
+  /// Smallest holder count shrink may reach. 0 = the initial holder count.
+  std::uint64_t min_holders = 0;
+  /// Largest holder count grow may reach.
+  std::uint64_t max_holders = std::uint64_t{1} << 22;
+  /// Shards per group: 0 = auto per group size (the RenamingService
+  /// heuristic, so a small generation gets few shards and a large one
+  /// many).
+  std::uint64_t shards = 0;
+  ArenaLayout arena_layout = ArenaLayout::kPadded;
+  std::uint64_t seed = 0xE1A5;
+  BatchLayoutParams layout_extra{};
+  /// Grow automatically under sustained probe-schedule misses (and always
+  /// on true exhaustion). Off = fixed capacity, explicit resize only.
+  bool auto_grow = true;
+  /// Full-schedule misses (with no intervening schedule win) that trigger
+  /// an automatic grow.
+  std::uint32_t grow_miss_threshold = 4;
+  /// Shrink automatically (sampled on the release path) when live names
+  /// stay below holders/4 across `shrink_low_threshold` consecutive
+  /// samples — like grow, the pressure must be *sustained*, so a
+  /// transient dip between bursts does not thrash the namespace. Off by
+  /// default: shrinking trades latency for memory and most callers prefer
+  /// to decide when (e.g. between traffic phases).
+  bool auto_shrink = false;
+  std::uint32_t shrink_low_threshold = 2;
+};
+
+class ElasticRenamingService {
+ public:
+  /// Tag bits spent in every name; bounds the generations that can be
+  /// in flight (live + draining) at once.
+  static constexpr std::uint32_t kTagBits = 3;
+  static constexpr std::uint32_t kMaxGroups = 1u << kTagBits;
+
+  explicit ElasticRenamingService(std::uint64_t initial_holders,
+                                  ElasticOptions options = {});
+  ~ElasticRenamingService();
+
+  ElasticRenamingService(const ElasticRenamingService&) = delete;
+  ElasticRenamingService& operator=(const ElasticRenamingService&) = delete;
+
+  /// Unique name in [0, capacity()), or -1 iff the namespace is exhausted
+  /// and cannot grow (auto_grow off, max_holders reached, or all
+  /// kMaxGroups tags still draining). Never blocks on a concurrent
+  /// resize.
+  sim::Name acquire();
+
+  /// Frees `name`. Valid for names from *any* generation, including
+  /// groups retired by grow/shrink since the acquisition. Returns false
+  /// (and changes nothing) for names not currently held.
+  bool release(sim::Name name);
+
+  /// Publish a generation with double / half / exactly `holders` holders
+  /// (clamped to [min_holders, max_holders]). False when the target equals
+  /// the current size, the clamp makes it a no-op, or no tag slot is free
+  /// (kMaxGroups generations already in flight). Safe concurrently with
+  /// acquire/release.
+  bool grow();
+  bool shrink();
+  bool resize(std::uint64_t holders);
+
+  /// One reclamation pass: unlink drained retirees, free quiesced limbo
+  /// groups. Returns groups freed by this call. Also runs opportunistically
+  /// (sampled) on the release path, so calling it is optional.
+  std::size_t reclaim();
+
+  /// Bound on newly issued names: local capacity of the live generation
+  /// times 2^kTagBits. Names issued by earlier, larger generations may
+  /// exceed this until released (they stay valid; see release()).
+  [[nodiscard]] std::uint64_t capacity() const {
+    return live_local_capacity_.load(std::memory_order_acquire) << kTagBits;
+  }
+  /// Holder count the live generation is laid out for.
+  [[nodiscard]] std::uint64_t holders() const {
+    return live_holders_.load(std::memory_order_acquire);
+  }
+  /// Monotonic resize count (initial construction = 1).
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Names currently held, summed over every in-flight generation.
+  /// Approximate while calls are in flight, exact at quiescence.
+  [[nodiscard]] std::uint64_t names_live() const;
+  /// Linked generations (live + draining). 1 at rest.
+  [[nodiscard]] std::size_t groups_in_flight() const;
+  /// Cell-storage bytes across linked + limbo groups: the number that
+  /// shrinking + reclamation drives back down.
+  [[nodiscard]] std::uint64_t footprint_bytes() const;
+
+  [[nodiscard]] std::uint64_t grow_events() const {
+    return grow_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shrink_events() const {
+    return shrink_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reclaimed_groups() const {
+    return reclaimed_groups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const ElasticOptions& options() const { return options_; }
+
+ private:
+  struct LimboEntry {
+    std::unique_ptr<ShardGroup> group;
+    std::uint64_t unlink_epoch;
+  };
+
+  static std::uint64_t encode(std::int64_t local, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(local) << kTagBits) | tag;
+  }
+
+  /// Resize if the generation still equals `seen_gen`; returns true when
+  /// the service resized (by this call or a concurrent one) so the caller
+  /// should re-probe. Prevents a stampede of threads that all saw the
+  /// same pressure from growing once each.
+  bool grow_from(std::uint64_t seen_gen);
+
+  bool resize_locked(std::uint64_t target);
+  std::size_t reclaim_locked();
+  int find_free_tag_locked() const;
+  /// Sampled release-path maintenance: reclamation + auto-shrink check.
+  void maintenance();
+
+  ElasticOptions options_;
+  std::uint64_t min_holders_;
+  std::uint64_t id_;  // process-unique (thread_ctx.h), keys per-thread state
+  EpochDomain domain_;
+  ScheduleCache schedules_;
+
+  /// RCU-published pointers: the live group (acquire path) and the tag
+  /// table (release path). Dereferenced only under an epoch pin.
+  std::atomic<ShardGroup*> live_group_{nullptr};
+  std::array<std::atomic<ShardGroup*>, kMaxGroups> groups_{};
+
+  /// Lock-free mirrors of the live group's geometry so capacity()/holders()
+  /// never dereference a pointer that a concurrent resize might retire.
+  std::atomic<std::uint64_t> live_local_capacity_{0};
+  std::atomic<std::uint64_t> live_holders_{0};
+
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint32_t> miss_streak_{0};
+  /// Consecutive low-watermark observations (maintenance() only, under
+  /// resize_mu_); plain int would do but keeps the header self-consistent.
+  std::atomic<std::uint32_t> low_streak_{0};
+  std::atomic<std::uint64_t> grow_events_{0};
+  std::atomic<std::uint64_t> shrink_events_{0};
+  std::atomic<std::uint64_t> reclaimed_groups_{0};
+
+  /// Serializes resize + reclamation bookkeeping (cold path only).
+  mutable std::mutex resize_mu_;
+  std::vector<std::unique_ptr<ShardGroup>> linked_;  // live + draining
+  std::vector<LimboEntry> limbo_;  // unlinked, awaiting final quiescence
+};
+
+}  // namespace loren

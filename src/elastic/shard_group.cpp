@@ -1,0 +1,83 @@
+#include "elastic/shard_group.h"
+
+#include <stdexcept>
+
+namespace loren {
+
+ShardGroup::ShardGroup(std::uint32_t tag, std::uint64_t generation,
+                       std::uint64_t holders, std::uint64_t shards,
+                       ArenaLayout arena_layout,
+                       std::shared_ptr<const CachedSchedule> schedule)
+    : tag_(tag),
+      generation_(generation),
+      holders_(holders),
+      shard_stride_(schedule->layout.total()),
+      shard_mask_(shards - 1),
+      shard_shift_(0),
+      schedule_(std::move(schedule)),
+      arena_(shard_stride_ * shards, arena_layout) {
+  if (shards == 0 || (shards & (shards - 1)) != 0) {
+    throw std::invalid_argument("ShardGroup: shards must be a power of two");
+  }
+  for (std::uint64_t s = shards; s > 1; s >>= 1) ++shard_shift_;
+  segments_.reserve(shards);
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    segments_.emplace_back(arena_, i * shard_stride_, shard_stride_);
+  }
+}
+
+std::int64_t ShardGroup::probe_segment(std::uint64_t si, Xoshiro256& rng,
+                                       bool* late) {
+  ArenaSegment& seg = segments_[si];
+  const FlatProbeSchedule::Slot* const first = schedule_->schedule.begin();
+  for (const auto* slot = first; slot != schedule_->schedule.end(); ++slot) {
+    const std::uint64_t x = slot->offset + rng.below(slot->size);
+    if (seg.test_and_set(x)) {
+      *late = (slot - first) >= kMigrateThreshold;
+      return static_cast<std::int64_t>((x << shard_shift_) | si);
+    }
+  }
+  return -1;
+}
+
+std::int64_t ShardGroup::try_acquire(Xoshiro256& rng, std::uint32_t* sticky) {
+  const std::uint64_t S = shard_mask_ + 1;
+  for (std::uint64_t k = 0; k < S; ++k) {
+    const std::uint64_t si = (*sticky + k) & shard_mask_;
+    bool late = false;
+    const std::int64_t local = probe_segment(si, rng, &late);
+    if (local >= 0) {
+      if (k != 0) {
+        *sticky = static_cast<std::uint32_t>(si);
+      } else if (late) {
+        *sticky = static_cast<std::uint32_t>((si + 1) & shard_mask_);
+      }
+      return local;
+    }
+  }
+  return -1;
+}
+
+std::int64_t ShardGroup::sweep_acquire(std::uint32_t* sticky) {
+  const std::uint64_t S = shard_mask_ + 1;
+  for (std::uint64_t k = 0; k < S; ++k) {
+    const std::uint64_t si = (*sticky + k) & shard_mask_;
+    ArenaSegment& seg = segments_[si];
+    for (std::uint64_t u = 0; u < shard_stride_; ++u) {
+      if (seg.test_and_set(u)) {
+        *sticky = static_cast<std::uint32_t>(si);
+        return static_cast<std::int64_t>((u << shard_shift_) | si);
+      }
+    }
+  }
+  return -1;
+}
+
+bool ShardGroup::release_local(std::uint64_t local) {
+  if (local >= local_capacity()) return false;
+  const std::uint64_t si = local & shard_mask_;
+  const std::uint64_t cell = local >> shard_shift_;
+  return segments_[si].try_release(cell);
+}
+
+}  // namespace loren

@@ -1,0 +1,116 @@
+// ShardGroup: one generation of the elastic namespace.
+//
+// A shard group is the unit the ElasticRenamingService publishes, retires,
+// and reclaims: a fixed probe geometry (BatchLayout for n_g/S holders per
+// shard, flattened once and shared via ScheduleCache) over a *single*
+// TasArena carved into S cache-line-padded shard segments. One allocation
+// per group — not one per shard — so the epoch-based resize protocol
+// frees a retired generation with one deallocation, and a group's whole
+// footprint appears/disappears atomically from the service's accounting.
+//
+// Within a group the probing discipline is the RenamingService one
+// (service.h): sticky shard, ring migration on late wins, ring stealing
+// on schedule misses, deterministic sweep as the exhaustion backstop.
+// Names are group-local here — (cell << shard_shift) | shard — and gain
+// their group tag only at the service layer (elastic_service.h), which is
+// also where uniqueness across generations is argued.
+//
+// The striped live counter is the group's drain detector: acquisitions
+// increment it inside an epoch pin, so once the service has (a) unpublished
+// the group from the live pointer and (b) seen the retire epoch quiesce,
+// the counter is monotonically non-increasing, and zero means drained —
+// no name from this generation is still held, so the group can be
+// unlinked and, after a second quiescence, freed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/rng.h"
+#include "platform/striped_counter.h"
+#include "renaming/schedule_cache.h"
+#include "tas/arena_segment.h"
+#include "tas/tas_arena.h"
+
+namespace loren {
+
+class ShardGroup {
+ public:
+  /// `shards` must be a power of two; `schedule` is the plan for this
+  /// group's per-shard holder count (schedule->layout.n() == holders/S).
+  ShardGroup(std::uint32_t tag, std::uint64_t generation, std::uint64_t holders,
+             std::uint64_t shards, ArenaLayout arena_layout,
+             std::shared_ptr<const CachedSchedule> schedule);
+
+  /// Walk the shard ring starting at *sticky (updated in place: migrate on
+  /// late wins, move to the winning shard when stealing). Returns the
+  /// group-local name, or -1 when every shard's schedule missed.
+  std::int64_t try_acquire(Xoshiro256& rng, std::uint32_t* sticky);
+
+  /// Deterministic sweep of every cell (ring order from *sticky): fails
+  /// only when zero cells in the group are free.
+  std::int64_t sweep_acquire(std::uint32_t* sticky);
+
+  /// Frees a group-local name; false when it is not currently taken
+  /// (single-RMW validation, concurrent double releases cannot both
+  /// succeed).
+  bool release_local(std::uint64_t local);
+
+  /// Bookkeeping around the arena ops (the service calls these inside the
+  /// same epoch pin as the arena op itself — see shard_group.h preamble).
+  void note_acquired() { live_.add(1); }
+  void note_released() { live_.add(-1); }
+  [[nodiscard]] std::int64_t live() const { return live_.sum(); }
+
+  /// Marks the group retiring; `epoch` is the domain epoch returned by the
+  /// advance() that followed the live-pointer swap.
+  void retire(std::uint64_t epoch) {
+    retire_epoch_.store(epoch, std::memory_order_relaxed);
+    retired_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool retired() const {
+    return retired_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t retire_epoch() const {
+    return retire_epoch_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t tag() const { return tag_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  /// Concurrent holders this generation is laid out for.
+  [[nodiscard]] std::uint64_t holders() const { return holders_; }
+  [[nodiscard]] std::uint64_t shards() const { return shard_mask_ + 1; }
+  /// Group-local namespace bound: every local name is < this.
+  [[nodiscard]] std::uint64_t local_capacity() const {
+    return shard_stride_ << shard_shift_;
+  }
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return arena_.footprint_bytes();
+  }
+  [[nodiscard]] const BatchLayout& shard_layout() const {
+    return schedule_->layout;
+  }
+
+ private:
+  /// Same pressure threshold as RenamingService: wins at or past this
+  /// probe position mean the shard is running hot.
+  static constexpr std::ptrdiff_t kMigrateThreshold = 8;
+
+  std::int64_t probe_segment(std::uint64_t si, Xoshiro256& rng, bool* late);
+
+  std::uint32_t tag_;
+  std::uint64_t generation_;
+  std::uint64_t holders_;
+  std::uint64_t shard_stride_;  // cells per shard
+  std::uint64_t shard_mask_;    // shards - 1 (power of two)
+  std::uint32_t shard_shift_;   // log2(shards)
+  std::shared_ptr<const CachedSchedule> schedule_;
+  TasArena arena_;  // one allocation: shards * stride cells
+  std::vector<ArenaSegment> segments_;
+  StripedCounter live_;
+  std::atomic<bool> retired_{false};
+  std::atomic<std::uint64_t> retire_epoch_{0};
+};
+
+}  // namespace loren

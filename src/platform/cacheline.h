@@ -1,0 +1,26 @@
+// The one cache-line constant.
+//
+// Before this header, the destructive-interference size was declared three
+// times (TasArena::kCacheLine, and bare alignas(64) in the two counter
+// headers); a port to a 128-byte-line machine (Apple M-series big cores,
+// POWER9) would have had to find them all. Everything that pads for false
+// sharing includes this instead.
+//
+// std::hardware_destructive_interference_size exists but is deliberately
+// not used: GCC warns on it in headers (its value is ABI — a library built
+// with one value linked against another is silently wrong), and 64 is
+// correct for every x86-64 and the vast majority of arm64 parts this
+// library targets. Override at configure time if needed.
+#pragma once
+
+#include <cstddef>
+
+namespace loren {
+
+#ifndef LOREN_CACHE_LINE_SIZE
+inline constexpr std::size_t kCacheLine = 64;
+#else
+inline constexpr std::size_t kCacheLine = LOREN_CACHE_LINE_SIZE;
+#endif
+
+}  // namespace loren

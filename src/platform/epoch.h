@@ -1,0 +1,121 @@
+// EpochDomain: epoch-based quiescence tracking for online reclamation.
+//
+// The elastic renaming service (src/elastic/) retires whole shard groups at
+// runtime: a resize publishes a new group via pointer swap, and the old
+// group's memory must not be freed while some thread still holds a raw
+// pointer into it. Hazard pointers or reference counts would put an RMW on
+// the acquire/release hot path; epoch-based reclamation (Fraser 2004, and
+// the RCU family) keeps the reader side down to two plain atomic accesses.
+//
+// The registry reuses the RegisteredCounter recipe (registered_counter.h):
+// each thread registers once per domain and receives its own cache-line-
+// padded slot that only it ever writes on the hot path. A reader *pins*
+// the domain for the duration of a critical section by publishing the
+// global epoch into its slot; a writer *advances* the global epoch and can
+// later ask whether every reader observed the advance.
+//
+// Protocol (the classic two-step):
+//   reader:  e = global; slot = e (seq_cst); re-check global == e, retry
+//            with the new value otherwise; ... dereference ...; slot = idle
+//   writer:  unpublish the pointer; E = advance(); when quiesced(E), no
+//            reader pinned before the advance is still inside its critical
+//            section, so nobody can still hold the unpublished pointer.
+//
+// Why the re-check: between the reader's load of `global` and the store to
+// its slot, a writer may advance and scan the slots without seeing the
+// pin. Re-reading `global` after the store (both seq_cst, so neither can
+// be reordered past the other) closes the window: either the reader sees
+// the advance and re-pins at the new epoch, or the writer's later
+// quiesced() scan sees the reader's published (old) epoch and waits.
+//
+// quiesced(E) is a cold-path scan under the registry mutex; it never
+// blocks readers. Slots live as long as the domain (threads never
+// deregister), matching the RegisteredCounter contract: a dead thread's
+// slot stays idle forever and costs one cache line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "platform/cacheline.h"
+
+namespace loren {
+
+class EpochDomain {
+ public:
+  /// Epochs start at 1, so 0 can mean "not pinned" forever.
+  static constexpr std::uint64_t kIdle = 0;
+
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> pinned{kIdle};
+  };
+
+  /// One-time per (thread, domain); callers cache the returned slot in a
+  /// thread-local. Safe to call concurrently.
+  Slot& register_thread() {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.push_back(std::make_unique<Slot>());
+    return *slots_.back();
+  }
+
+  /// RAII pin: the domain's current epoch is published in `slot` for the
+  /// guard's lifetime. Pointers loaded from epoch-protected structures
+  /// while a guard is live stay valid until the guard is destroyed.
+  class Guard {
+   public:
+    Guard(const EpochDomain& domain, Slot& slot) : slot_(&slot) {
+      std::uint64_t e = domain.global_.load(std::memory_order_acquire);
+      for (;;) {
+        slot_->pinned.store(e, std::memory_order_seq_cst);
+        const std::uint64_t g = domain.global_.load(std::memory_order_seq_cst);
+        if (g == e) break;  // pin published before any later advance's scan
+        e = g;
+      }
+    }
+    ~Guard() { slot_->pinned.store(kIdle, std::memory_order_release); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  [[nodiscard]] std::uint64_t current() const {
+    return global_.load(std::memory_order_acquire);
+  }
+
+  /// Bumps the global epoch; returns the *new* epoch E. Every reader
+  /// pinned strictly before the advance holds an epoch < E.
+  std::uint64_t advance() {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// True iff no reader is still pinned at an epoch < `epoch`: every
+  /// critical section that began before advance() returned `epoch` has
+  /// ended (and, via the release/acquire pair on the slot, everything it
+  /// wrote is visible to the caller). New pins at >= `epoch` don't block.
+  [[nodiscard]] bool quiesced(std::uint64_t epoch) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slot : slots_) {
+      const std::uint64_t p = slot->pinned.load(std::memory_order_seq_cst);
+      if (p != kIdle && p < epoch) return false;
+    }
+    return true;
+  }
+
+  /// Registered slot count (diagnostics).
+  [[nodiscard]] std::size_t slots() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
+ private:
+  alignas(kCacheLine) std::atomic<std::uint64_t> global_{1};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace loren

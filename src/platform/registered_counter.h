@@ -24,11 +24,13 @@
 #include <mutex>
 #include <vector>
 
+#include "platform/cacheline.h"
+
 namespace loren {
 
 class RegisteredCounter {
  public:
-  struct alignas(64) Node {
+  struct alignas(kCacheLine) Node {
     std::atomic<std::int64_t> v{0};
   };
 

@@ -15,6 +15,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "platform/cacheline.h"
+
 namespace loren {
 
 class StripedCounter {
@@ -59,7 +61,7 @@ class StripedCounter {
   }
 
  private:
-  struct alignas(64) Stripe {
+  struct alignas(kCacheLine) Stripe {
     std::atomic<std::int64_t> v{0};
   };
   std::array<Stripe, kStripes> stripes_{};

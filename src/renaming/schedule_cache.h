@@ -1,0 +1,66 @@
+// ScheduleCache: memoized probe plans for heterogeneous group sizes.
+//
+// A fixed-capacity service computes its BatchLayout + FlatProbeSchedule
+// once in the constructor. The elastic service creates shard groups at
+// runtime with *different* holder counts — and a workload that oscillates
+// between two load levels re-creates groups of the same two sizes over and
+// over. The layout/schedule for a given (holders, params) pair is pure, so
+// the cache hands out one immutable shared instance per holder count:
+// resizing back to a size seen before costs a mutex-protected map lookup,
+// not a layout recomputation, and retired groups can outlive the resize
+// that replaced them while sharing their schedule with their successor.
+//
+// Entries are shared_ptr<const ...>: a ShardGroup keeps its schedule alive
+// for its own lifetime (including limbo, after the service has moved on),
+// and the cache never invalidates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "renaming/batch_layout.h"
+#include "renaming/probe_schedule.h"
+
+namespace loren {
+
+/// One immutable probe plan: the batch geometry for `n` holders and its
+/// flattened schedule.
+struct CachedSchedule {
+  CachedSchedule(std::uint64_t n, const BatchLayoutParams& params)
+      : layout(n, params), schedule(layout) {}
+
+  BatchLayout layout;
+  FlatProbeSchedule schedule;
+};
+
+/// Keyed by holder count; the layout params are fixed per cache (one cache
+/// per service — every group of a service shares epsilon/beta/t0).
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(const BatchLayoutParams& params) : params_(params) {}
+
+  std::shared_ptr<const CachedSchedule> get(std::uint64_t holders) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = entries_[holders];
+    if (entry == nullptr) {
+      entry = std::make_shared<const CachedSchedule>(holders, params_);
+    }
+    return entry;
+  }
+
+  [[nodiscard]] const BatchLayoutParams& params() const { return params_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  BatchLayoutParams params_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const CachedSchedule>> entries_;
+};
+
+}  // namespace loren

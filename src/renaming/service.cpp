@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "renaming/thread_ctx.h"
+
 namespace {
 
 using loren::RegisteredCounter;
@@ -14,7 +16,8 @@ using loren::RegisteredCounter;
 /// home-shard hash), the cached per-thread generator (the seed path
 /// re-derived one from a shared ticket on *every* call), and a small
 /// per-service state table — the sticky shard hint and this thread's
-/// registered counter node.
+/// registered counter node. The slot/table machinery is shared with the
+/// elastic service (renaming/thread_ctx.h).
 ///
 /// The sticky hint is what keeps a loaded home shard from becoming a tax:
 /// without it, a thread whose home shard has filled walks that shard's
@@ -23,71 +26,32 @@ using loren::RegisteredCounter;
 /// soon as wins start arriving late in the schedule (the shard is running
 /// hot) or the schedule misses outright, so steady-state work goes
 /// straight to a shard with free cells; after a reset the hint is merely
-/// stale, never wrong, because any shard can serve any thread. Entries
-/// are keyed by a process-unique service id, so a service constructed at
-/// a dead service's address cannot inherit its state. The table is a
-/// tiny open-addressed map with one entry per (thread, service) and no
-/// eviction — entries (and their registered counter nodes) are reused
-/// for the thread's lifetime, so no call pattern can re-register nodes
-/// and grow a service's counter registry without bound.
-struct ThreadCtx {
-  struct PerService {
-    std::uint64_t service_id = 0;  // 0 = empty (instance ids start at 1)
-    std::uint32_t shard = 0;
-    RegisteredCounter::Node* counter = nullptr;
-  };
+/// stale, never wrong, because any shard can serve any thread.
+struct PerService {
+  std::uint32_t shard = 0;
+  RegisteredCounter::Node* counter = nullptr;
+};
 
+struct ThreadCtx {
   std::uint64_t slot;
   loren::Xoshiro256 rng;
-  std::vector<PerService> services{16};  // power-of-two capacity
-  std::size_t distinct_services = 0;
+  loren::PerServiceTable<PerService> services;
 
   explicit ThreadCtx(std::uint64_t seed, std::uint64_t slot_)
       : slot(slot_), rng(loren::mix_seed(seed, slot_)) {}
 
   PerService& for_service(std::uint64_t service_id, std::uint64_t home) {
-    std::size_t i = probe(services, service_id);
-    if (services[i].service_id == service_id) return services[i];
-    if ((distinct_services + 1) * 2 > services.size()) {
-      grow();
-      i = probe(services, service_id);
-    }
-    ++distinct_services;
-    services[i].service_id = service_id;
-    services[i].shard = static_cast<std::uint32_t>(home);
-    services[i].counter = nullptr;
-    return services[i];
-  }
-
- private:
-  /// Index of service_id's entry, or of the empty slot where it belongs.
-  static std::size_t probe(const std::vector<PerService>& table,
-                           std::uint64_t service_id) {
-    const std::size_t mask = table.size() - 1;
-    std::size_t i = service_id & mask;
-    while (table[i].service_id != 0 && table[i].service_id != service_id) {
-      i = (i + 1) & mask;
-    }
-    return i;
-  }
-
-  void grow() {
-    std::vector<PerService> bigger(services.size() * 2);
-    for (const PerService& s : services) {
-      if (s.service_id != 0) bigger[probe(bigger, s.service_id)] = s;
-    }
-    services.swap(bigger);
+    return services.for_service(service_id, [home](PerService& p) {
+      p.shard = static_cast<std::uint32_t>(home);
+    });
   }
 };
 
-/// Threads get dense slots 0, 1, 2, ... in arrival order, so `slot mod S`
-/// spreads the first S threads over S distinct home shards (a random hash
-/// would collide at birthday rates). The rng seed is fixed by the first
-/// service a thread touches; streams stay independent across threads
-/// either way, which is all the analysis needs.
+/// The rng seed is fixed by the first service a thread touches; streams
+/// stay independent across threads either way, which is all the analysis
+/// needs.
 ThreadCtx& thread_ctx(std::uint64_t seed) {
-  static std::atomic<std::uint64_t> next{0};
-  thread_local ThreadCtx ctx(seed, next.fetch_add(1, std::memory_order_relaxed));
+  thread_local ThreadCtx ctx(seed, loren::dense_thread_slot());
   return ctx;
 }
 
@@ -104,37 +68,39 @@ namespace loren {
 
 using sim::Name;
 
-namespace {
-std::uint64_t next_service_id() {
-  static std::atomic<std::uint64_t> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
+std::uint64_t auto_shard_count(std::uint64_t n,
+                               const BatchLayoutParams& params) {
+  const std::uint64_t hw = std::thread::hardware_concurrency();
+  // Grow while (a) hardware threads would share home shards or (b) a
+  // padded shard spills out of half an L1d — the sticky hot path is
+  // fastest when a thread's whole probe target is cache-resident — but
+  // never shard below 64 holders.
+  constexpr std::uint64_t kHalfL1 = 32 * 1024;
+  std::uint64_t shards = 1;
+  while (n / (shards * 2) >= 64 &&
+         (shards < hw || padded_shard_bytes(n, shards, params) > kHalfL1)) {
+    shards <<= 1;
+  }
+  return shards;
 }
-}  // namespace
+
+std::uint64_t shard_count_for(std::uint64_t n, std::uint64_t requested,
+                              const BatchLayoutParams& params) {
+  if (requested == 0) return auto_shard_count(n, params);
+  std::uint64_t shards = 1;
+  while (shards < requested) shards <<= 1;  // round up to a power of two
+  while (shards > 1 && shards > n) shards >>= 1;
+  return shards;
+}
 
 RenamingService::RenamingService(std::uint64_t n,
                                  RenamingServiceOptions options)
-    : options_(options), id_(next_service_id()) {
+    : options_(options), id_(next_service_instance_id()) {
   if (n == 0) throw std::invalid_argument("RenamingService: n must be >= 1");
   options_.layout_extra.epsilon = options_.epsilon;
 
-  std::uint64_t shards = 1;
-  if (options_.shards == 0) {
-    const std::uint64_t hw = std::thread::hardware_concurrency();
-    // Grow while (a) hardware threads would share home shards or (b) a
-    // padded shard spills out of half an L1d — the sticky hot path is
-    // fastest when a thread's whole probe target is cache-resident — but
-    // never shard below 64 holders (tiny shards overflow constantly and
-    // every acquisition degenerates to stealing).
-    constexpr std::uint64_t kHalfL1 = 32 * 1024;
-    while (n / (shards * 2) >= 64 &&
-           (shards < hw ||
-            padded_shard_bytes(n, shards, options_.layout_extra) > kHalfL1)) {
-      shards <<= 1;
-    }
-  } else {
-    while (shards < options_.shards) shards <<= 1;  // round up to power of two
-    while (shards > 1 && shards > n) shards >>= 1;
-  }
+  const std::uint64_t shards =
+      shard_count_for(n, options_.shards, options_.layout_extra);
 
   shard_n_ = (n + shards - 1) / shards;
   shard_mask_ = shards - 1;

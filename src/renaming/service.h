@@ -58,6 +58,20 @@
 
 namespace loren {
 
+/// The auto-sharding heuristic shared by RenamingService and the elastic
+/// shard groups: the smallest power-of-two shard count such that (a)
+/// hardware threads get distinct home shards and (b) a padded shard arena
+/// fits in half an L1d (32 KiB), clamped so every shard still serves
+/// >= 64 holders (tiny shards overflow constantly and every acquisition
+/// degenerates to stealing).
+std::uint64_t auto_shard_count(std::uint64_t n, const BatchLayoutParams& params);
+
+/// Resolves a requested shard count: 0 = auto_shard_count, otherwise
+/// rounded up to a power of two and clamped so a shard never serves less
+/// than one holder. One policy for RenamingService and the elastic groups.
+std::uint64_t shard_count_for(std::uint64_t n, std::uint64_t requested,
+                              const BatchLayoutParams& params);
+
 struct RenamingServiceOptions {
   double epsilon = 0.5;
   /// Number of shards, rounded up to a power of two. 0 = auto: enough

@@ -1,0 +1,98 @@
+// Shared thread-context plumbing for the service layer.
+//
+// Both long-lived services (the fixed RenamingService and the
+// ElasticRenamingService) want the same per-thread machinery: a dense
+// thread slot for home-shard hashing, a cached per-thread generator, and a
+// tiny per-(thread, service) state table keyed by a process-unique service
+// id. This header factors the parts that were private to service.cpp so
+// the elastic service doesn't re-implement them.
+//
+// The per-service table is a small open-addressed map with one entry per
+// (thread, service) and no eviction — entries (and any registered nodes
+// they cache) are reused for the thread's lifetime, so no call pattern can
+// re-register nodes and grow a service's registries without bound. Keys
+// are process-unique instance ids, never `this`: a service constructed at
+// a dead service's recycled address must not inherit its state — in
+// particular cached nodes pointing into freed registries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/rng.h"
+
+namespace loren {
+
+/// Process-unique service instance id; ids start at 1 so 0 can mean
+/// "empty" in the per-thread tables forever.
+inline std::uint64_t next_service_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Threads get dense slots 0, 1, 2, ... in arrival order, so `slot mod S`
+/// spreads the first S threads over S distinct home shards (a random hash
+/// would collide at birthday rates).
+inline std::uint64_t dense_thread_slot() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+/// Open-addressed (thread-local, so single-threaded) map from service id
+/// to a Payload. Payload must be default-constructible and cheap to copy
+/// (raw pointers + small ints).
+template <class Payload>
+class PerServiceTable {
+ public:
+  PerServiceTable() : entries_(16) {}  // power-of-two capacity
+
+  /// The payload for `service_id`; on first touch the entry is default-
+  /// constructed and `init(payload)` runs once.
+  template <class Init>
+  Payload& for_service(std::uint64_t service_id, Init&& init) {
+    std::size_t i = probe(entries_, service_id);
+    if (entries_[i].service_id == service_id) return entries_[i].payload;
+    if ((distinct_ + 1) * 2 > entries_.size()) {
+      grow();
+      i = probe(entries_, service_id);
+    }
+    ++distinct_;
+    entries_[i].service_id = service_id;
+    entries_[i].payload = Payload{};
+    init(entries_[i].payload);
+    return entries_[i].payload;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t service_id = 0;  // 0 = empty
+    Payload payload{};
+  };
+
+  /// Index of service_id's entry, or of the empty slot where it belongs.
+  static std::size_t probe(const std::vector<Entry>& table,
+                           std::uint64_t service_id) {
+    const std::size_t mask = table.size() - 1;
+    std::size_t i = service_id & mask;
+    while (table[i].service_id != 0 && table[i].service_id != service_id) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow() {
+    std::vector<Entry> bigger(entries_.size() * 2);
+    for (const Entry& e : entries_) {
+      if (e.service_id != 0) bigger[probe(bigger, e.service_id)] = e;
+    }
+    entries_.swap(bigger);
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t distinct_ = 0;
+};
+
+}  // namespace loren

@@ -1,0 +1,51 @@
+// ArenaSegment: a relocatable window into a TasArena.
+//
+// The sharded services used to give every shard its own TasArena — S
+// independent allocations per service, each with its own epoch word and
+// alignment slack. A segment is instead a non-owning [base, base+size)
+// view of one arena: the elastic service's shard groups allocate a single
+// arena per group and carve it into shard segments, so a whole group is
+// one allocation that can be published, retired, and reclaimed as a unit
+// (the property the epoch-based resize protocol needs), and creating or
+// destroying a group is one malloc/free regardless of shard count.
+//
+// A segment exposes the same memory concept as the arena itself
+// (test_and_set / read / write / try_release / size), so BasicDirectEnv
+// and the probe loops run over a window unchanged — "relocating" a shard
+// is rebinding a view, never copying cells.
+#pragma once
+
+#include <cstdint>
+
+#include "tas/direct_env.h"
+#include "tas/tas_arena.h"
+
+namespace loren {
+
+class ArenaSegment {
+ public:
+  ArenaSegment() = default;
+  ArenaSegment(TasArena& arena, std::uint64_t base, std::uint64_t size)
+      : arena_(&arena), base_(base), size_(size) {}
+
+  bool test_and_set(std::uint64_t i) { return arena_->test_and_set(base_ + i); }
+  [[nodiscard]] std::uint64_t read(std::uint64_t i) const {
+    return arena_->read(base_ + i);
+  }
+  void write(std::uint64_t i, std::uint64_t v) { arena_->write(base_ + i, v); }
+  bool try_release(std::uint64_t i) { return arena_->try_release(base_ + i); }
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] TasArena* arena() const { return arena_; }
+
+ private:
+  TasArena* arena_ = nullptr;
+  std::uint64_t base_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// Run the coroutine algorithms over one shard window of a shared arena.
+using SegmentEnv = BasicDirectEnv<ArenaSegment>;
+
+}  // namespace loren

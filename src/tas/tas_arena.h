@@ -47,6 +47,7 @@
 #include <memory>
 #include <new>
 
+#include "platform/cacheline.h"
 #include "tas/direct_env.h"
 
 namespace loren {
@@ -58,7 +59,7 @@ enum class ArenaLayout : std::uint8_t {
 
 class TasArena {
  public:
-  static constexpr std::size_t kCacheLine = 64;
+  static constexpr std::size_t kCacheLine = loren::kCacheLine;
 
   explicit TasArena(std::uint64_t size, ArenaLayout layout = ArenaLayout::kPadded)
       : size_(size),
