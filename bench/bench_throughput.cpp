@@ -22,6 +22,14 @@
 // every time it hits 60% fill — an O(1) epoch bump vs the seed's O(m)
 // reallocation — and a reset() microbenchmark.
 //
+// Batch workload engine (service-sharded and elastic only — the variants
+// with acquire_many/release_many): batch-churn churns whole batches at
+// fixed k (batched vs k singles — the derived batch_speedup_* ratio) and
+// under a zipf batch-size mix; poisson-arrivals drives Pois(lambda)-sized
+// arrival ticks against a bounded live window (platform/poisson.h);
+// thread-churn retires workers mid-run so every acquisition runs on a
+// fresh thread's cold service caches.
+//
 // burst-drain: a thread ramp 1 -> N -> 1 (one phase per step, each phase
 // its own JSON row as burst-drain-up / burst-drain-down) where active
 // workers hold a 64-name window. Run against the fixed sharded service
@@ -40,6 +48,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +58,7 @@
 #include <vector>
 
 #include "elastic/elastic_service.h"
+#include "platform/poisson.h"
 #include "platform/rng.h"
 #include "renaming/batch_layout.h"
 #include "renaming/concurrent.h"
@@ -228,6 +238,153 @@ void fill_reset_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
     }
     if (r.acquire() < 0) ++c.failed;
     ++c.ops;
+  }
+}
+
+// ------------------------------------------------- batch workload engine --
+// Scenario-driven batched workloads for the variants that expose
+// acquire_many/release_many (the sharded service and the elastic service):
+//   * batch-churn       — whole-batch acquire/release churn; fixed k rows
+//                         (batched vs k singles, the headline ratio) and a
+//                         zipf-distributed batch-size mix;
+//   * poisson-arrivals  — arrival ticks of Pois(lambda) names against a
+//                         bounded live window (platform/poisson.h);
+//   * thread-churn      — workers retire mid-run and fresh threads take
+//                         over, so every service-side thread cache (dense
+//                         thread slot, counter node, epoch slot) is cold.
+
+constexpr unsigned kMaxBatchBench = 32;
+
+/// Zipf(s) over [1, max]: mostly-small batch sizes with a heavy tail —
+/// the connection-slot-block / worker-pool / fan-out mix. Sampled by
+/// inverse CDF over a precomputed table.
+class ZipfBatch {
+ public:
+  ZipfBatch(unsigned max, double s) {
+    double norm = 0;
+    for (unsigned v = 1; v <= max; ++v) norm += 1.0 / std::pow(v, s);
+    double acc = 0;
+    cdf_.reserve(max);
+    for (unsigned v = 1; v <= max; ++v) {
+      acc += 1.0 / std::pow(v, s);
+      cdf_.push_back(acc / norm);
+    }
+  }
+
+  unsigned sample(loren::Xoshiro256& rng) const {
+    const double u = rng.uniform01();
+    unsigned v = 1;
+    while (v < cdf_.size() && cdf_[v - 1] < u) ++v;
+    return v;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Whole batches through acquire_many/release_many: one schedule walk +
+/// one counter add per batch instead of per name.
+template <class R>
+void batch_churn_many_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
+                           const ZipfBatch* zipf, unsigned fixed_k,
+                           std::uint64_t tseed) {
+  loren::Xoshiro256 rng(loren::mix_seed(0x2A7C4, tseed));
+  std::int64_t names[kMaxBatchBench];
+  while (!stop.load(std::memory_order_relaxed)) {
+    const unsigned k = zipf != nullptr ? zipf->sample(rng) : fixed_k;
+    const std::uint64_t got = r.acquire_many(k, names);
+    if (got < k) c.failed += k - got;
+    if (got > 0) r.release_many(names, got);
+    c.ops += got;
+  }
+}
+
+/// The same demand served one name at a time — the baseline the batched
+/// rows are compared against (derived batch_speedup_* keys).
+template <class R>
+void batch_churn_singles_loop(R& r, const std::atomic<bool>& stop,
+                              WorkerCount& c, const ZipfBatch* zipf,
+                              unsigned fixed_k, std::uint64_t tseed) {
+  loren::Xoshiro256 rng(loren::mix_seed(0x2A7C5, tseed));
+  std::int64_t names[kMaxBatchBench];
+  while (!stop.load(std::memory_order_relaxed)) {
+    const unsigned k = zipf != nullptr ? zipf->sample(rng) : fixed_k;
+    unsigned got = 0;
+    for (unsigned i = 0; i < k; ++i) {
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        ++c.failed;
+        break;
+      }
+      names[got++] = name;
+    }
+    for (unsigned i = 0; i < got; ++i) r.release(names[i]);
+    c.ops += got;
+  }
+}
+
+/// Arrival ticks of Pois(lambda) names, released oldest-first once the
+/// live window exceeds its bound — request fan-out against a finite pool.
+/// `max_live` bounds the per-worker window and `max_batch` the per-tick
+/// arrival; the driver sizes both from the worker's 1/threads share of
+/// the namespace, so the aggregate peak demand (window + one in-flight
+/// batch per worker) stays under n and a failed acquire would be a real
+/// bug, not overcommit.
+template <class R>
+void poisson_arrivals_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
+                           std::uint64_t tseed, std::size_t max_live,
+                           std::size_t max_batch) {
+  constexpr double kLambda = 4.0;
+  loren::Xoshiro256 rng(loren::mix_seed(0x90155, tseed));
+  std::vector<std::int64_t> window;
+  window.reserve(max_live + max_batch);
+  std::int64_t names[kMaxBatchBench];
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::uint64_t k = loren::poisson_sample(kLambda, rng);
+    if (k == 0) continue;  // an empty arrival tick
+    if (k > max_batch) k = max_batch;
+    const std::uint64_t got = r.acquire_many(k, names);
+    if (got < k) c.failed += k - got;
+    window.insert(window.end(), names, names + got);
+    c.ops += got;
+    if (window.size() > max_live) {
+      const std::size_t m = window.size() - max_live;
+      r.release_many(window.data(), m);
+      window.erase(window.begin(), window.begin() + m);
+    }
+  }
+  if (!window.empty()) r.release_many(window.data(), window.size());
+}
+
+/// Workers retire mid-run: each slot runs a short-lived thread to
+/// completion and immediately starts a fresh one. Every fresh thread
+/// arrives with cold thread-locals — a brand-new dense_thread_slot, an
+/// unregistered counter node and epoch slot — so this measures on/off-
+/// boarding (registration, home-shard hashing) under steady churn, the
+/// pattern of a pool that rotates its workers. Registered nodes/slots
+/// are never deregistered (the services' documented contract), so the
+/// registries — and the cold-path scans over them (counter sums, epoch
+/// quiescence checks) — grow with every lifetime; that accumulating cost
+/// is part of what the row measures, which is exactly what a rotating
+/// deployment pays. The run is duration-bounded, so so is the growth.
+template <class R>
+void thread_churn_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c) {
+  constexpr int kOpsPerLife = 2000;
+  while (!stop.load(std::memory_order_relaxed)) {
+    WorkerCount inner;
+    std::thread life([&] {
+      std::int64_t names[4];
+      for (int i = 0;
+           i < kOpsPerLife && !stop.load(std::memory_order_relaxed); ++i) {
+        const std::uint64_t got = r.acquire_many(4, names);
+        if (got < 4) inner.failed += 4 - got;
+        if (got > 0) r.release_many(names, got);
+        inner.ops += got;
+      }
+    });
+    life.join();
+    c.ops += inner.ops;
+    c.failed += inner.failed;
   }
 }
 
@@ -415,6 +572,77 @@ void bench_variant(const std::string& vname, MakeFn make,
   }
 }
 
+/// The batch scenario matrix for one variant with acquire_many/release_many.
+/// Emits batch-churn (fixed k, batched vs singles, plus the zipf mix),
+/// poisson-arrivals, and thread-churn rows under the shared JSON schema.
+template <class MakeFn>
+void bench_batch_scenarios(const std::string& vname, MakeFn make,
+                           const std::vector<unsigned>& thread_counts,
+                           int duration_ms, std::uint64_t n,
+                           std::vector<Result>& out) {
+  static const ZipfBatch zipf(kMaxBatchBench, 1.2);
+  for (const unsigned k : {4u, 16u}) {
+    for (unsigned threads : thread_counts) {
+      {
+        auto r = make();
+        out.push_back(run_threads(
+            "batch-churn", vname + "-many-k" + std::to_string(k), threads,
+            duration_ms,
+            [&](unsigned t, const std::atomic<bool>& stop, WorkerCount& c) {
+              batch_churn_many_loop(*r, stop, c, nullptr, k, t);
+            }));
+        print_row(out.back());
+      }
+      {
+        auto r = make();
+        out.push_back(run_threads(
+            "batch-churn", vname + "-singles-k" + std::to_string(k), threads,
+            duration_ms,
+            [&](unsigned t, const std::atomic<bool>& stop, WorkerCount& c) {
+              batch_churn_singles_loop(*r, stop, c, nullptr, k, t);
+            }));
+        print_row(out.back());
+      }
+    }
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads(
+        "batch-churn", vname + "-many-zipf", threads, duration_ms,
+        [&](unsigned t, const std::atomic<bool>& stop, WorkerCount& c) {
+          batch_churn_many_loop(*r, stop, c, &zipf, 0, t);
+        }));
+    print_row(out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    // Per-worker demand sized from the worker's share of the namespace:
+    // window (<= share/2) + one in-flight batch (<= share/4) stays under
+    // the share, so aggregate demand stays under n (the long-lived
+    // contract) and any failed acquire is a bug — on any host topology.
+    const std::size_t share = std::max<std::size_t>(
+        static_cast<std::size_t>(n) / threads, 8);
+    const std::size_t max_live = std::clamp<std::size_t>(share / 2, 4, 256);
+    const std::size_t max_batch =
+        std::clamp<std::size_t>(share / 4, 1, kMaxBatchBench);
+    out.push_back(run_threads(
+        "poisson-arrivals", vname, threads, duration_ms,
+        [&](unsigned t, const std::atomic<bool>& stop, WorkerCount& c) {
+          poisson_arrivals_loop(*r, stop, c, t, max_live, max_batch);
+        }));
+    print_row(out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads(
+        "thread-churn", vname, threads, duration_ms,
+        [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+          thread_churn_loop(*r, stop, c);
+        }));
+    print_row(out.back());
+  }
+}
+
 // ------------------------------------------------------------------ json --
 std::string fmt1(double v) {
   char buf[64];
@@ -575,6 +803,27 @@ int main(int argc, char** argv) {
                 [&] { return make_service(1, ArenaLayout::kPadded); },
                 thread_counts, duration_ms, n, results);
 
+  // ---- batch workload engine: batch-churn / poisson-arrivals /
+  // thread-churn for the variants with a batched surface ------------------
+  bench_batch_scenarios(
+      "service-sharded",
+      [&] { return make_service(service_shards, ArenaLayout::kPadded); },
+      thread_counts, duration_ms, n, results);
+  bench_batch_scenarios(
+      "elastic",
+      [&] {
+        loren::ElasticOptions eopts;
+        eopts.epsilon = eps;
+        // Start at up to 1024 holders (clamped for small --n runs) with
+        // headroom to n, so the steady batch workloads measure the hot
+        // path, not a resize storm.
+        const std::uint64_t start = std::min<std::uint64_t>(1024, n);
+        eopts.min_holders = start;
+        eopts.max_holders = n;
+        return std::make_unique<loren::ElasticRenamingService>(start, eopts);
+      },
+      thread_counts, duration_ms, n, results);
+
   // ---- burst/drain ramp: fixed peak provisioning vs elastic ------------
   const unsigned ramp_peak = thread_counts.back();
   const int phase_ms = std::max(duration_ms / 2, quick ? 30 : 100);
@@ -655,6 +904,19 @@ int main(int argc, char** argv) {
         items("fill-reset-pool", "service-sharded", 1) / seed_fill);
   }
   derived.emplace_back("peak_threads", peak);
+  // Batched acquisition vs k singles on the same demand (the acceptance
+  // ratio for the batch pipeline: >= 1.3x at 4 threads).
+  for (const unsigned k : {4u, 16u}) {
+    const double singles = items(
+        "batch-churn", "service-sharded-singles-k" + std::to_string(k), 4);
+    if (singles > 0) {
+      derived.emplace_back(
+          "batch_speedup_k" + std::to_string(k) + "_at_4_threads",
+          items("batch-churn", "service-sharded-many-k" + std::to_string(k),
+                4) /
+              singles);
+    }
+  }
   // The elastic resize trajectory over the burst/drain ramp: grows on the
   // way up, shrinks + reclaims on the way down, holders back at the floor.
   derived.emplace_back("elastic_grow_events",

@@ -1,9 +1,13 @@
 // Elastic namespace under a traffic burst: start a connection-slot pool
 // at 64 holders, ramp worker threads up and back down, and watch the
 // service grow under sustained probe misses, then shrink and reclaim the
-// retired generations once the burst drains.
+// retired generations once the burst drains. Workers claim their slots
+// in *blocks* via acquire_many — one epoch pin and one counter update
+// per block, and a block that overruns the live generation grows it and
+// spans generations transparently.
 //
 //   $ ./build/examples/elastic_pool
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -39,11 +43,14 @@ int main() {
           continue;
         }
         if (static_cast<int>(held.size()) < kHold) {
-          const loren::sim::Name n = pool.acquire();
-          if (n >= 0) {
-            held.push_back(n);
-            served.fetch_add(1, std::memory_order_relaxed);
-          }
+          // Claim the missing demand as one block (capped at 16 per call,
+          // a typical connection-slot block size).
+          loren::sim::Name block[16];
+          const std::uint64_t want = std::min<std::uint64_t>(
+              16, static_cast<std::uint64_t>(kHold - held.size()));
+          const std::uint64_t got = pool.acquire_many(want, block);
+          held.insert(held.end(), block, block + got);
+          served.fetch_add(got, std::memory_order_relaxed);
         } else {
           pool.release(held.back());
           held.pop_back();

@@ -43,6 +43,55 @@ namespace loren {
 
 using sim::Name;
 
+namespace {
+
+/// name = (local << kTagBits) | tag, plus the generation stamp when the
+/// debug release guard is on (see ElasticOptions::debug_release_guard).
+Name encode_name(const ShardGroup& g, std::int64_t local, bool guard) {
+  std::uint64_t v = (static_cast<std::uint64_t>(local)
+                     << ElasticRenamingService::kTagBits) |
+                    g.tag();
+  if (guard) {
+    v |= (g.generation() & ElasticRenamingService::kGenStampMask)
+         << ElasticRenamingService::kGenStampShift;
+  }
+  return static_cast<Name>(v);
+}
+
+/// encode_name's inverse: the release-path decode shared by release()
+/// and release_many(), so the stamp geometry lives in exactly two
+/// adjacent functions.
+struct DecodedName {
+  std::uint64_t local;
+  std::uint32_t tag;
+  std::uint64_t stamp;  // meaningful only when the guard is on
+};
+
+DecodedName decode_name(Name name, bool guard) {
+  std::uint64_t raw = static_cast<std::uint64_t>(name);
+  DecodedName d{};
+  if (guard) {
+    d.stamp = (raw >> ElasticRenamingService::kGenStampShift) &
+              ElasticRenamingService::kGenStampMask;
+    raw &= (std::uint64_t{1} << ElasticRenamingService::kGenStampShift) - 1;
+  }
+  d.tag = static_cast<std::uint32_t>(raw) &
+          (ElasticRenamingService::kMaxGroups - 1);
+  d.local = raw >> ElasticRenamingService::kTagBits;
+  return d;
+}
+
+/// The stale double-release ABA guard: with the guard on, the tag has
+/// been recycled since the name was issued iff the generation stamp
+/// mismatches — freeing the cell would hit a victim in the *new* group.
+bool stamp_matches(const loren::ShardGroup& g, const DecodedName& d,
+                   bool guard) {
+  return !guard ||
+         (g.generation() & ElasticRenamingService::kGenStampMask) == d.stamp;
+}
+
+}  // namespace
+
 ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
                                                ElasticOptions options)
     : options_(options),
@@ -107,7 +156,7 @@ Name ElasticRenamingService::acquire() {
         if (miss_streak_.load(std::memory_order_relaxed) != 0) {
           miss_streak_.store(0, std::memory_order_relaxed);
         }
-        return static_cast<Name>(encode(local, g->tag()));
+        return encode_name(*g, local, options_.debug_release_guard);
       }
     }
     // Full schedule miss: record pressure, grow when it is sustained.
@@ -125,7 +174,14 @@ Name ElasticRenamingService::acquire() {
       const std::int64_t local = g->sweep_acquire(&per.shard);
       if (local >= 0) {
         g->note_acquired();
-        return static_cast<Name>(encode(local, g->tag()));
+        // A sweep win is still a successful acquisition: it must end the
+        // miss streak like a schedule win does. Leaving the streak in
+        // place let one later schedule miss cross grow_miss_threshold and
+        // double capacity with no sustained pressure at all.
+        if (miss_streak_.load(std::memory_order_relaxed) != 0) {
+          miss_streak_.store(0, std::memory_order_relaxed);
+        }
+        return encode_name(*g, local, options_.debug_release_guard);
       }
     }
     // True exhaustion: force a grow regardless of streak, or give up.
@@ -136,8 +192,7 @@ Name ElasticRenamingService::acquire() {
 
 bool ElasticRenamingService::release(Name name) {
   if (name < 0) return false;
-  const std::uint32_t tag = static_cast<std::uint32_t>(name) & (kMaxGroups - 1);
-  const std::uint64_t local = static_cast<std::uint64_t>(name) >> kTagBits;
+  const DecodedName d = decode_name(name, options_.debug_release_guard);
 
   ThreadCtx& ctx = thread_ctx(options_.seed);
   PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
@@ -146,14 +201,106 @@ bool ElasticRenamingService::release(Name name) {
   });
   {
     EpochDomain::Guard guard(domain_, *per.slot);
-    ShardGroup* g = groups_[tag].load(std::memory_order_acquire);
-    if (g == nullptr || !g->release_local(local)) return false;
+    ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
+    if (g == nullptr) return false;
+    if (!stamp_matches(*g, d, options_.debug_release_guard)) return false;
+    if (!g->release_local(d.local)) return false;
     g->note_released();
   }
   // Sampled maintenance: drive reclamation (and auto-shrink) forward
   // without a background thread and without taxing every release.
   if ((++per.sample & 63u) == 0) maintenance();
   return true;
+}
+
+std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
+                                                   Name* out) {
+  if (k == 0) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
+    p.slot = &domain_.register_thread();
+    p.shard = static_cast<std::uint32_t>(ctx.tslot);
+  });
+
+  std::uint64_t got = 0;
+  // Each round runs against one generation under one epoch pin; a round
+  // that leaves a shortfall grows the namespace and the next round claims
+  // the remainder from the new generation, so the loop is bounded by the
+  // doubling ladder exactly like acquire()'s.
+  for (int attempt = 0; attempt < 40 && got < k; ++attempt) {
+    std::uint64_t seen_gen = 0;
+    std::uint64_t round = 0;
+    {
+      EpochDomain::Guard guard(domain_, *per.slot);
+      // Generation before group, for the same reason as acquire().
+      seen_gen = generation_.load(std::memory_order_acquire);
+      ShardGroup* g = live_group_.load(std::memory_order_acquire);
+      round = g->try_acquire_many(ctx.rng, &per.shard, k - got, out + got);
+      if (round > 0) {
+        // One live-counter add and one tag/stamp encode pass per
+        // sub-batch — the whole point of batching.
+        g->note_acquired_n(static_cast<std::int64_t>(round));
+        for (std::uint64_t i = 0; i < round; ++i) {
+          out[got + i] = encode_name(*g, out[got + i],
+                                     options_.debug_release_guard);
+        }
+        got += round;
+      }
+    }
+    if (got == k) {
+      // Any fully served batch ends the miss streak, sweep-served or not:
+      // pressure must be *sustained* to trigger an automatic grow.
+      if (miss_streak_.load(std::memory_order_relaxed) != 0) {
+        miss_streak_.store(0, std::memory_order_relaxed);
+      }
+      return got;
+    }
+    // Shortfall past try_acquire_many's sweep backstop: the live group
+    // really had fewer than the remaining demand free. That is one
+    // pressure event for the whole batch — not one per missing name — and,
+    // like acquire()'s true-exhaustion path, grounds for growing now.
+    miss_streak_.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.auto_grow || !grow_from(seen_gen)) break;
+  }
+  return got;
+}
+
+std::uint64_t ElasticRenamingService::release_many(const Name* names,
+                                                   std::uint64_t count) {
+  if (count == 0) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
+    p.slot = &domain_.register_thread();
+    p.shard = static_cast<std::uint32_t>(ctx.tslot);
+  });
+  std::uint64_t freed = 0;
+  {
+    EpochDomain::Guard guard(domain_, *per.slot);
+    // Batches overwhelmingly come from one generation, so coalesce the
+    // live-counter updates per group and flush on change.
+    ShardGroup* run_group = nullptr;
+    std::int64_t run_freed = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Name name = names[i];
+      if (name < 0) continue;
+      const DecodedName d = decode_name(name, options_.debug_release_guard);
+      ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
+      if (g == nullptr) continue;
+      if (!stamp_matches(*g, d, options_.debug_release_guard)) continue;
+      if (!g->release_local(d.local)) continue;
+      if (g != run_group) {
+        if (run_group != nullptr) run_group->note_released_n(run_freed);
+        run_group = g;
+        run_freed = 0;
+      }
+      ++run_freed;
+      ++freed;
+    }
+    if (run_group != nullptr) run_group->note_released_n(run_freed);
+  }
+  // Same sampled maintenance cadence as release(): one batch counts once.
+  if (freed > 0 && (++per.sample & 63u) == 0) maintenance();
+  return freed;
 }
 
 bool ElasticRenamingService::grow_from(std::uint64_t seen_gen) {

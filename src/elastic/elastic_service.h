@@ -88,6 +88,16 @@ struct ElasticOptions {
   /// to decide when (e.g. between traffic phases).
   bool auto_shrink = false;
   std::uint32_t shrink_low_threshold = 2;
+  /// Diagnostic hardening against *contract-violating* releases: stamp
+  /// the issuing generation into bits [48, 63) of every name and reject a
+  /// release whose stamp does not match the generation currently holding
+  /// the name's tag. This catches the stale double-release ABA — a copy
+  /// of a name from a long-reclaimed generation whose 3-bit tag has been
+  /// recycled would otherwise free a victim's cell in the *new* group.
+  /// Stamped names are no longer < capacity() (the stamp rides above the
+  /// value bits), so keep this off in production and on in tests/debug
+  /// deployments. See DESIGN.md, "The release contract".
+  bool debug_release_guard = false;
 };
 
 class ElasticRenamingService {
@@ -96,6 +106,13 @@ class ElasticRenamingService {
   /// in flight (live + draining) at once.
   static constexpr std::uint32_t kTagBits = 3;
   static constexpr std::uint32_t kMaxGroups = 1u << kTagBits;
+  /// debug_release_guard stamp geometry: 15 generation bits at bit 48 —
+  /// far above any realistic local<<kTagBits value (max_holders tops out
+  /// at 2^22 by default) and, at 15 bits, stopping short of bit 63 so a
+  /// stamped name can never go negative (sim::Name is a signed int64 and
+  /// negative means "failure" everywhere).
+  static constexpr std::uint32_t kGenStampShift = 48;
+  static constexpr std::uint64_t kGenStampMask = 0x7FFF;
 
   explicit ElasticRenamingService(std::uint64_t initial_holders,
                                   ElasticOptions options = {});
@@ -114,6 +131,23 @@ class ElasticRenamingService {
   /// groups retired by grow/shrink since the acquisition. Returns false
   /// (and changes nothing) for names not currently held.
   bool release(sim::Name name);
+
+  /// Batched acquisition: claims up to `k` unique names into `out` and
+  /// returns the number acquired. One epoch pin covers the whole batch
+  /// (safe: a pin never blocks a resize, only delays reclamation by at
+  /// most one batch — see DESIGN.md), miss accounting is per *batch* (a
+  /// batch the probe schedules could not fill is one pressure event, not
+  /// k), and a shortfall past the sweep backstop grows the namespace
+  /// immediately and claims the remainder from the new generation — so a
+  /// batch may span generations (each sub-batch carries its own tag) and
+  /// returns < k only when growth is unavailable (auto_grow off,
+  /// max_holders reached, or all tags draining).
+  std::uint64_t acquire_many(std::uint64_t k, sim::Name* out);
+
+  /// Frees `count` names (any mix of generations) under one epoch pin
+  /// with batched per-group live accounting. Returns how many were
+  /// actually freed; invalid or not-held entries are skipped.
+  std::uint64_t release_many(const sim::Name* names, std::uint64_t count);
 
   /// Publish a generation with double / half / exactly `holders` holders
   /// (clamped to [min_holders, max_holders]). False when the target equals
@@ -169,10 +203,6 @@ class ElasticRenamingService {
     std::unique_ptr<ShardGroup> group;
     std::uint64_t unlink_epoch;
   };
-
-  static std::uint64_t encode(std::int64_t local, std::uint32_t tag) {
-    return (static_cast<std::uint64_t>(local) << kTagBits) | tag;
-  }
 
   /// Resize if the generation still equals `seen_gen`; returns true when
   /// the service resized (by this call or a concurrent one) so the caller

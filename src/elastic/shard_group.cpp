@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "renaming/batch_claim.h"
+
 namespace loren {
 
 ShardGroup::ShardGroup(std::uint32_t tag, std::uint64_t generation,
@@ -71,6 +73,30 @@ std::int64_t ShardGroup::sweep_acquire(std::uint32_t* sticky) {
     }
   }
   return -1;
+}
+
+std::uint64_t ShardGroup::claim_encoded(std::uint64_t si, std::uint64_t from,
+                                        std::uint64_t to, std::uint64_t k,
+                                        std::int64_t* out) {
+  return claim_encode_inplace(
+      [&](std::uint64_t* raw) {
+        return segments_[si].try_claim_run(from, to, k, raw);
+      },
+      shard_shift_, si, out);
+}
+
+std::uint64_t ShardGroup::try_acquire_many(Xoshiro256& rng,
+                                           std::uint32_t* sticky,
+                                           std::uint64_t k, std::int64_t* out) {
+  return batch_claim_ring(
+      shard_mask_, shard_shift_, shard_stride_, sticky, k, out,
+      [&](std::uint64_t si, bool* late) {
+        return probe_segment(si, rng, late);
+      },
+      [&](std::uint64_t si, std::uint64_t from, std::uint64_t to,
+          std::uint64_t budget, std::int64_t* dst) {
+        return claim_encoded(si, from, to, budget, dst);
+      });
 }
 
 bool ShardGroup::release_local(std::uint64_t local) {

@@ -52,6 +52,19 @@ class ShardGroup {
   /// only when zero cells in the group are free.
   std::int64_t sweep_acquire(std::uint32_t* sticky);
 
+  /// Batched acquisition: claims up to `k` group-local names into `out`,
+  /// returning the number claimed. One probe-schedule walk finds a seed
+  /// cell per visited shard; the rest of that shard's demand is taken by
+  /// a linear run-claim around the seed (one cache line at a time — see
+  /// TasArena::try_claim_run). Walks the shard ring from *sticky like
+  /// try_acquire, then falls back to the deterministic sweep
+  /// (renaming/batch_claim.h holds the shared walk), so a shortfall
+  /// (return < k) means the group had fewer than k free cells when
+  /// scanned — the per-batch exhaustion signal the elastic service's
+  /// grow-on-shortfall policy consumes.
+  std::uint64_t try_acquire_many(Xoshiro256& rng, std::uint32_t* sticky,
+                                 std::uint64_t k, std::int64_t* out);
+
   /// Frees a group-local name; false when it is not currently taken
   /// (single-RMW validation, concurrent double releases cannot both
   /// succeed).
@@ -61,6 +74,9 @@ class ShardGroup {
   /// same epoch pin as the arena op itself — see shard_group.h preamble).
   void note_acquired() { live_.add(1); }
   void note_released() { live_.add(-1); }
+  /// Batch variants: one striped add for the whole batch.
+  void note_acquired_n(std::int64_t n) { live_.add(n); }
+  void note_released_n(std::int64_t n) { live_.add(-n); }
   [[nodiscard]] std::int64_t live() const { return live_.sum(); }
 
   /// Marks the group retiring; `epoch` is the domain epoch returned by the
@@ -98,6 +114,12 @@ class ShardGroup {
   static constexpr std::ptrdiff_t kMigrateThreshold = 8;
 
   std::int64_t probe_segment(std::uint64_t si, Xoshiro256& rng, bool* late);
+
+  /// Run-claim over shard `si`'s window [from, to), encoding wins as
+  /// group-local names directly into `out`. Returns the number claimed.
+  std::uint64_t claim_encoded(std::uint64_t si, std::uint64_t from,
+                              std::uint64_t to, std::uint64_t k,
+                              std::int64_t* out);
 
   std::uint32_t tag_;
   std::uint64_t generation_;

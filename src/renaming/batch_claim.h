@@ -1,0 +1,91 @@
+// The shared seed-and-run-claim ring walk behind every batched surface.
+//
+// RenamingService::acquire_many and ShardGroup::try_acquire_many run the
+// same algorithm over different substrates (per-shard TasArenas with
+// per-shard schedules vs ArenaSegment windows of one group arena under a
+// shared schedule): walk the shard ring from the caller's sticky hint;
+// per visited shard, one probe-schedule walk wins a *seed* cell and the
+// batch's remaining demand is run-claimed linearly from the seed
+// (forward to the shard end, then wrapping once to the cells before it);
+// if the schedule phase leaves a shortfall, a deterministic sweep of
+// every shard backstops, so returning < k means the namespace really had
+// fewer than k free cells when scanned. This header keeps exactly one
+// copy of that walk; the substrates plug in via two callables.
+//
+// The walk origin is captured before the loop: the sticky hint is
+// updated *during* the walk (migrate on late wins, move to the serving
+// shard when stealing), and indexing the ring off the live hint would
+// revisit already-probed shards and skip others.
+#pragma once
+
+#include <cstdint>
+
+namespace loren {
+
+/// Runs a raw cell-index claim into the caller's output slots, then
+/// encodes in place as (cell << shard_shift) | si — the name layout both
+/// substrates share. `raw_claim(raw)` must write up to its budget of
+/// claimed cell indices to `raw` and return the count. uint64/int64
+/// alias legally and every claimed index fits either, so no scratch
+/// buffer is needed.
+template <class RawClaim>
+std::uint64_t claim_encode_inplace(RawClaim&& raw_claim,
+                                   std::uint32_t shard_shift,
+                                   std::uint64_t si, std::int64_t* out) {
+  std::uint64_t* raw = reinterpret_cast<std::uint64_t*>(out);
+  const std::uint64_t got = raw_claim(raw);
+  for (std::uint64_t i = 0; i < got; ++i) {
+    out[i] = static_cast<std::int64_t>((raw[i] << shard_shift) | si);
+  }
+  return got;
+}
+
+/// Claims up to `k` names into `out`, returning the count.
+///
+/// `probe(si, &late)` walks shard si's probe schedule and returns the
+/// *encoded* name of one won cell (or -1 on a full miss), setting `late`
+/// when the win arrived at or past the migration threshold. `claim(si,
+/// from, to, budget, out)` linearly claims up to `budget` free cells of
+/// shard si's window [from, to) and writes them *encoded* to `out`,
+/// returning the count. Encoded names are (cell << shard_shift) | si for
+/// both substrates, which is why the seed's cell index is recovered here
+/// with one shift.
+template <class Probe, class Claim>
+std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
+                               std::uint32_t shard_shift,
+                               std::uint64_t shard_stride,
+                               std::uint32_t* sticky, std::uint64_t k,
+                               std::int64_t* out, Probe&& probe,
+                               Claim&& claim) {
+  const std::uint64_t S = shard_mask + 1;
+  std::uint64_t got = 0;
+  // Phase 1 — schedule-seeded run claims: k names for ~one schedule walk.
+  const std::uint32_t origin = *sticky;
+  for (std::uint64_t w = 0; w < S && got < k; ++w) {
+    const std::uint64_t si = (origin + w) & shard_mask;
+    bool late = false;
+    const std::int64_t seed = probe(si, &late);
+    if (seed < 0) continue;
+    out[got++] = seed;
+    const std::uint64_t x = static_cast<std::uint64_t>(seed) >> shard_shift;
+    if (got < k) got += claim(si, x + 1, shard_stride, k - got, out + got);
+    if (got < k) got += claim(si, 0, x, k - got, out + got);
+    if (w != 0) {
+      *sticky = static_cast<std::uint32_t>(si);
+    } else if (late) {
+      *sticky = static_cast<std::uint32_t>((si + 1) & shard_mask);
+    }
+  }
+  // Phase 2 — deterministic sweep backstop: a shortfall past here is true
+  // (near-)exhaustion. Fresh origin: the hint may have moved in phase 1.
+  if (got < k) {
+    const std::uint32_t origin2 = *sticky;
+    for (std::uint64_t w = 0; w < S && got < k; ++w) {
+      const std::uint64_t si = (origin2 + w) & shard_mask;
+      got += claim(si, 0, shard_stride, k - got, out + got);
+    }
+  }
+  return got;
+}
+
+}  // namespace loren

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "renaming/batch_claim.h"
 #include "renaming/thread_ctx.h"
 
 namespace {
@@ -68,9 +69,15 @@ namespace loren {
 
 using sim::Name;
 
-std::uint64_t auto_shard_count(std::uint64_t n,
-                               const BatchLayoutParams& params) {
-  const std::uint64_t hw = std::thread::hardware_concurrency();
+std::uint64_t auto_shard_count(std::uint64_t n, const BatchLayoutParams& params,
+                               std::uint32_t hw_threads) {
+  // hardware_concurrency() may legitimately return 0 ("unknown"). Treat
+  // it as 1 — the conservative reading, made explicit here rather than
+  // left to the accident that `shards < 0u` is unsatisfiable (the clamp
+  // pins the hw==0 contract down so it is documented and, with hw
+  // injectable, unit-tested; the L1-size condition below still drives
+  // the shard count up for large namespaces).
+  const std::uint64_t hw = std::max<std::uint32_t>(1u, hw_threads);
   // Grow while (a) hardware threads would share home shards or (b) a
   // padded shard spills out of half an L1d — the sticky hot path is
   // fastest when a thread's whole probe target is cache-resident — but
@@ -84,13 +91,25 @@ std::uint64_t auto_shard_count(std::uint64_t n,
   return shards;
 }
 
+std::uint64_t auto_shard_count(std::uint64_t n,
+                               const BatchLayoutParams& params) {
+  return auto_shard_count(n, params, std::thread::hardware_concurrency());
+}
+
 std::uint64_t shard_count_for(std::uint64_t n, std::uint64_t requested,
-                              const BatchLayoutParams& params) {
-  if (requested == 0) return auto_shard_count(n, params);
+                              const BatchLayoutParams& params,
+                              std::uint32_t hw_threads) {
+  if (requested == 0) return auto_shard_count(n, params, hw_threads);
   std::uint64_t shards = 1;
   while (shards < requested) shards <<= 1;  // round up to a power of two
   while (shards > 1 && shards > n) shards >>= 1;
   return shards;
+}
+
+std::uint64_t shard_count_for(std::uint64_t n, std::uint64_t requested,
+                              const BatchLayoutParams& params) {
+  return shard_count_for(n, requested, params,
+                         std::thread::hardware_concurrency());
 }
 
 RenamingService::RenamingService(std::uint64_t n,
@@ -165,6 +184,60 @@ Name RenamingService::acquire() {
     }
   }
   return -1;
+}
+
+std::uint64_t RenamingService::claim_encoded(Shard& shard,
+                                             std::uint64_t shard_index,
+                                             std::uint64_t from,
+                                             std::uint64_t to, std::uint64_t k,
+                                             Name* out) {
+  return claim_encode_inplace(
+      [&](std::uint64_t* raw) {
+        return shard.arena.try_claim_run(from, to, k, raw);
+      },
+      shard_shift_, shard_index, out);
+}
+
+std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
+  if (k == 0) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  // The shared seed-and-run-claim ring walk (renaming/batch_claim.h): a
+  // shortfall past its sweep backstop means fewer than k cells were free
+  // across the whole namespace when scanned.
+  const std::uint64_t got = batch_claim_ring(
+      shard_mask_, shard_shift_, shard_stride_, &per.shard, k, out,
+      [&](std::uint64_t si, bool* late) {
+        return probe_shard(*shards_[si], si, ctx.rng, *late);
+      },
+      [&](std::uint64_t si, std::uint64_t from, std::uint64_t to,
+          std::uint64_t budget, Name* dst) {
+        return claim_encoded(*shards_[si], si, from, to, budget, dst);
+      });
+  if (got > 0) {
+    RegisteredCounter::add(*per.counter, static_cast<std::int64_t>(got));
+  }
+  return got;
+}
+
+std::uint64_t RenamingService::release_many(const Name* names,
+                                            std::uint64_t count) {
+  std::uint64_t freed = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Name name = names[i];
+    if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) continue;
+    const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
+    const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
+    if (shards_[si]->arena.try_release(local)) ++freed;
+  }
+  if (freed > 0) {
+    ThreadCtx& ctx = thread_ctx(options_.seed);
+    auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+    if (per.counter == nullptr) per.counter = &live_.register_thread();
+    RegisteredCounter::add(*per.counter, -static_cast<std::int64_t>(freed));
+  }
+  return freed;
 }
 
 bool RenamingService::release(Name name) {

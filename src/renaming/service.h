@@ -64,13 +64,26 @@ namespace loren {
 /// fits in half an L1d (32 KiB), clamped so every shard still serves
 /// >= 64 holders (tiny shards overflow constantly and every acquisition
 /// degenerates to stealing).
+///
+/// `hw_threads` is the hardware thread count to shard for; 0 means
+/// "unknown" (std::thread::hardware_concurrency() is allowed to return 0)
+/// and is treated as 1 — left unclamped it would silently disable the
+/// distinct-home-shards growth condition. Injectable so the policy is
+/// unit-testable without faking the host's topology.
+std::uint64_t auto_shard_count(std::uint64_t n, const BatchLayoutParams& params,
+                               std::uint32_t hw_threads);
+/// Convenience overload: shard for this host (hardware_concurrency()).
 std::uint64_t auto_shard_count(std::uint64_t n, const BatchLayoutParams& params);
 
 /// Resolves a requested shard count: 0 = auto_shard_count, otherwise
 /// rounded up to a power of two and clamped so a shard never serves less
 /// than one holder. One policy for RenamingService and the elastic groups.
+/// The three-argument form uses this host's hardware_concurrency().
 std::uint64_t shard_count_for(std::uint64_t n, std::uint64_t requested,
                               const BatchLayoutParams& params);
+std::uint64_t shard_count_for(std::uint64_t n, std::uint64_t requested,
+                              const BatchLayoutParams& params,
+                              std::uint32_t hw_threads);
 
 struct RenamingServiceOptions {
   double epsilon = 0.5;
@@ -99,6 +112,28 @@ class RenamingService {
   /// value; single-RMW validation, so concurrent double releases cannot
   /// both succeed.
   bool release(sim::Name name);
+
+  /// Batched acquisition: claims up to `k` unique names into `out` and
+  /// returns the number acquired. Returns < k only when fewer than k
+  /// cells were free over the scan: at quiescence that means namespace
+  /// exhaustion, while under concurrent churn the one-pass sweep can
+  /// transiently come up short even though k cells were free at every
+  /// instant (cells freed behind the scan cursor are not revisited) —
+  /// callers that must have all k retry the remainder. One sticky-shard
+  /// ring walk (renaming/batch_claim.h): per visited shard a single
+  /// probe-schedule walk seeds a linear run-claim
+  /// (TasArena::try_claim_run), the deterministic sweep backstops, and
+  /// the live counter gets one add of +got — so a batch of k costs one
+  /// TLS lookup, ~one schedule walk, and one counter update instead of k
+  /// of each. Names are the same interleaved encoding as acquire();
+  /// uniqueness and the namespace bound are unchanged (every claim is
+  /// still a per-cell TAS).
+  std::uint64_t acquire_many(std::uint64_t k, sim::Name* out);
+
+  /// Frees `count` names with one counter add. Returns how many were
+  /// actually freed; invalid or not-held entries are skipped (each entry
+  /// has release()'s single-RMW validation).
+  std::uint64_t release_many(const sim::Name* names, std::uint64_t count);
 
   /// O(S) full reset: epoch-bumps every shard arena and zeroes the live
   /// counter. Not safe concurrently with acquire/release — quiesce first.
@@ -141,6 +176,12 @@ class RenamingService {
   /// at or past kMigrateThreshold.
   sim::Name probe_shard(Shard& shard, std::uint64_t shard_index,
                         Xoshiro256& rng, bool& late);
+
+  /// Run-claim over `shard`'s cells [from, to), encoding wins as
+  /// interleaved global names directly into `out`. Returns the count.
+  std::uint64_t claim_encoded(Shard& shard, std::uint64_t shard_index,
+                              std::uint64_t from, std::uint64_t to,
+                              std::uint64_t k, sim::Name* out);
 
   RenamingServiceOptions options_;
   /// Process-unique instance id. Per-thread caches (sticky shard hint,

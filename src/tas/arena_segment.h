@@ -35,6 +35,17 @@ class ArenaSegment {
   void write(std::uint64_t i, std::uint64_t v) { arena_->write(base_ + i, v); }
   bool try_release(std::uint64_t i) { return arena_->try_release(base_ + i); }
 
+  /// Batched claim over the window [begin, end) (segment-relative): up to
+  /// `k` free cells are claimed in one linear scan and their *segment-
+  /// relative* indices appended to `out`. Returns the number claimed.
+  std::uint64_t try_claim_run(std::uint64_t begin, std::uint64_t end,
+                              std::uint64_t k, std::uint64_t* out) {
+    const std::uint64_t got =
+        arena_->try_claim_run(base_ + begin, base_ + end, k, out);
+    for (std::uint64_t i = 0; i < got; ++i) out[i] -= base_;
+    return got;
+  }
+
   [[nodiscard]] std::uint64_t size() const { return size_; }
   [[nodiscard]] std::uint64_t base() const { return base_; }
   [[nodiscard]] TasArena* arena() const { return arena_; }

@@ -104,6 +104,27 @@ class TasArena {
     return cell(i).exchange(0, std::memory_order_acq_rel) == e;
   }
 
+  /// Batched claim: scans [begin, end) linearly and TASes free-looking
+  /// cells until `k` wins are collected, appending the won indices to
+  /// `out`. Returns the number claimed (<= k). Each cell is checked with
+  /// a cheap acquire load first, so already-taken cells cost a load, not
+  /// a locked RMW — in the packed layout the scan reads the eight stamps
+  /// of a cache line before touching the next line, so a mostly-full
+  /// region is skipped at one line-fill per eight cells. Losing the race
+  /// on a free-looking cell (the exchange observes the current epoch)
+  /// just moves the scan on; uniqueness is still the per-cell TAS.
+  std::uint64_t try_claim_run(std::uint64_t begin, std::uint64_t end,
+                              std::uint64_t k, std::uint64_t* out) {
+    const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    std::uint64_t got = 0;
+    for (std::uint64_t i = begin; i < end && got < k; ++i) {
+      std::atomic<std::uint64_t>& c = cell(i);
+      if (c.load(std::memory_order_acquire) == e) continue;  // taken
+      if (c.exchange(e, std::memory_order_acq_rel) != e) out[got++] = i;
+    }
+    return got;
+  }
+
   /// O(1) full-namespace reset: bump the epoch so every stamp goes stale.
   /// Same contract as AtomicTasArray::reset(): not safe concurrently with
   /// in-flight test_and_set/release (an in-flight op may land in either

@@ -9,9 +9,11 @@
 // reclaimed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -172,6 +174,42 @@ TEST(Elastic, ResizeFailsGracefullyWhenAllTagsAreInFlight) {
   EXPECT_TRUE(svc.resize(svc.holders() * 2));
 }
 
+TEST(Elastic, AcquireManyGrowsOnShortfall) {
+  ElasticOptions opts = small_options();
+  ElasticRenamingService svc(64, opts);
+  // One batch far beyond the initial group: each round claims what the
+  // live generation has free, the shortfall grows the namespace, and the
+  // next round claims the remainder from the new generation.
+  std::vector<Name> names(600);
+  const std::uint64_t got = svc.acquire_many(names.size(), names.data());
+  ASSERT_EQ(got, names.size());
+  EXPECT_GE(svc.grow_events(), 2u)
+      << "a 600-name batch from a 64-holder start needs >= 2 doublings";
+  std::set<Name> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size()) << "duplicate names across generations";
+  // The whole batch releases cleanly — including the sub-batches issued
+  // by now-retired generations — and exactly once.
+  EXPECT_EQ(svc.release_many(names.data(), names.size()), names.size());
+  EXPECT_EQ(svc.release_many(names.data(), names.size()), 0u);
+  EXPECT_EQ(svc.names_live(), 0u);
+}
+
+TEST(Elastic, AcquireManyRespectsGrowthCeiling) {
+  ElasticOptions opts = small_options();
+  opts.min_holders = 64;
+  opts.max_holders = 64;  // growth unavailable
+  ElasticRenamingService svc(64, opts);
+  const std::uint64_t cells =
+      svc.capacity() >> ElasticRenamingService::kTagBits;
+  std::vector<Name> names(cells + 32);
+  // The batch overshoots a namespace that cannot grow: every free cell is
+  // claimed (the sweep backstop), the rest is an honest shortfall.
+  const std::uint64_t got = svc.acquire_many(names.size(), names.data());
+  EXPECT_EQ(got, cells);
+  EXPECT_EQ(svc.grow_events(), 0u);
+  EXPECT_EQ(svc.release_many(names.data(), got), got);
+}
+
 // ------------------------------------------------------- stress ----
 
 // Uniqueness ledger: one atomic flag per possible name value. acquire must
@@ -193,6 +231,76 @@ class NameLedger {
  private:
   std::vector<std::atomic<std::uint8_t>> flags_;
 };
+
+TEST(ElasticStress, ConcurrentBatchesStayUniqueAcrossResizes) {
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 4000;
+  constexpr std::uint64_t kMaxBatch = 8;
+  constexpr std::size_t kMaxHeld = 64;
+
+  ElasticOptions opts = small_options();
+  opts.grow_miss_threshold = 2;
+  opts.auto_shrink = true;  // exercise resize churn under batches too
+  ElasticRenamingService svc(64, opts);
+
+  NameLedger ledger(1u << 20);
+  std::atomic<std::uint64_t> uniqueness_violations{0};
+  std::atomic<std::uint64_t> validity_violations{0};
+  std::atomic<std::uint64_t> out_of_range{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(0xBA7C8 + static_cast<std::uint64_t>(t));
+      std::vector<Name> held;
+      Name batch[kMaxBatch];
+      for (int i = 0; i < kItersPerThread; ++i) {
+        if (held.size() < kMaxHeld && rng.below(2) == 0) {
+          const std::uint64_t want = std::min<std::uint64_t>(
+              1 + rng.below(kMaxBatch), kMaxHeld - held.size());
+          const std::uint64_t got = svc.acquire_many(want, batch);
+          for (std::uint64_t j = 0; j < got; ++j) {
+            if (static_cast<std::uint64_t>(batch[j]) >= ledger.bound()) {
+              out_of_range.fetch_add(1, std::memory_order_relaxed);
+            } else if (!ledger.mark_held(batch[j])) {
+              uniqueness_violations.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              held.push_back(batch[j]);
+            }
+          }
+        } else if (!held.empty()) {
+          const std::uint64_t m =
+              std::min<std::uint64_t>(1 + rng.below(kMaxBatch), held.size());
+          for (std::uint64_t j = 0; j < m; ++j) {
+            batch[j] = held.back();
+            held.pop_back();
+            // Ledger first, as in the burst/drain stress: once release_many
+            // frees the cell another thread may re-acquire the name.
+            if (!ledger.mark_free(batch[j])) {
+              uniqueness_violations.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          if (svc.release_many(batch, m) != m) {
+            validity_violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      for (const Name n : held) {
+        ledger.mark_free(n);
+        if (!svc.release(n)) {
+          validity_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(uniqueness_violations.load(), 0u);
+  EXPECT_EQ(validity_violations.load(), 0u);
+  EXPECT_EQ(out_of_range.load(), 0u);
+  EXPECT_EQ(svc.names_live(), 0u);
+}
 
 TEST(ElasticStress, BurstDrainKeepsNamesUniqueAndValid) {
   constexpr int kThreads = 4;

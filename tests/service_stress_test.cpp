@@ -3,6 +3,7 @@
 // shards, epoch-reset correctness, and the overflow/steal path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <set>
@@ -183,6 +184,149 @@ TEST(RenamingServiceStress, OverflowStealsFromNeighbours) {
   }
   EXPECT_EQ(all.size(), static_cast<std::size_t>(target) * kThreads);
   EXPECT_EQ(service.names_live(), all.size());
+}
+
+TEST(RenamingService, AcquireManyFillsAndExhausts) {
+  RenamingService service(256, sharded(4));
+  const std::uint64_t capacity = service.capacity();
+  std::set<sim::Name> names;
+  std::vector<sim::Name> all;
+  std::vector<sim::Name> batch(50);
+  // Batches drain the namespace completely: every name unique and in
+  // range, partial batches only at the very end, then hard exhaustion.
+  for (;;) {
+    const std::uint64_t got = service.acquire_many(batch.size(), batch.data());
+    if (got == 0) break;
+    for (std::uint64_t i = 0; i < got; ++i) {
+      ASSERT_GE(batch[i], 0);
+      ASSERT_LT(static_cast<std::uint64_t>(batch[i]), capacity);
+      ASSERT_TRUE(names.insert(batch[i]).second) << "duplicate " << batch[i];
+      all.push_back(batch[i]);
+    }
+    if (got < batch.size()) {
+      EXPECT_EQ(names.size(), capacity)
+          << "a partial batch is only legal on exhaustion";
+    }
+  }
+  EXPECT_EQ(names.size(), capacity);
+  EXPECT_EQ(service.acquire_many(1, batch.data()), 0u);
+  EXPECT_EQ(service.names_live(), capacity);
+  // Batched release round-trip; double release frees nothing.
+  EXPECT_EQ(service.release_many(all.data(), all.size()), capacity);
+  EXPECT_EQ(service.release_many(all.data(), all.size()), 0u);
+  EXPECT_EQ(service.names_live(), 0u);
+}
+
+TEST(RenamingService, AcquireManyMatchesSinglesSemantics) {
+  // A batch of k against k singles on an identical twin service: both
+  // must succeed fully and stay within the namespace bound.
+  RenamingService batched(256, sharded(4));
+  sim::Name batch[16];
+  ASSERT_EQ(batched.acquire_many(16, batch), 16u);
+  std::set<sim::Name> unique(batch, batch + 16);
+  EXPECT_EQ(unique.size(), 16u);
+  EXPECT_EQ(batched.names_live(), 16u);
+  // Mixed-mode interop: singles release what a batch acquired.
+  for (const sim::Name n : batch) EXPECT_TRUE(batched.release(n));
+  EXPECT_EQ(batched.names_live(), 0u);
+  // And a batch releases what singles acquired.
+  std::vector<sim::Name> singles;
+  for (int i = 0; i < 16; ++i) singles.push_back(batched.acquire());
+  EXPECT_EQ(batched.release_many(singles.data(), singles.size()), 16u);
+  EXPECT_EQ(batched.names_live(), 0u);
+}
+
+// Batched variant of the churn stress: threads acquire in zipf-ish sized
+// batches and release in batches, with the same CAS-owner-table uniqueness
+// oracle. Runs under TSan in CI like the single-name churn.
+void batch_churn_stress(std::uint64_t n, std::uint64_t shards,
+                        ArenaLayout layout, int threads,
+                        int iters_per_thread) {
+  RenamingService service(n, sharded(shards, layout));
+  const std::uint64_t capacity = service.capacity();
+  std::vector<std::atomic<int>> owner(capacity);
+  for (auto& o : owner) o.store(-1);
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> short_batches{0};
+
+  constexpr std::uint64_t kMaxBatch = 16;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng(0xBA7C4 + t);
+      std::vector<sim::Name> held;
+      sim::Name batch[kMaxBatch];
+      constexpr std::size_t kMaxHeld = 48;
+      for (int i = 0; i < iters_per_thread; ++i) {
+        if (held.size() < kMaxHeld && rng.below(2) == 0) {
+          const std::uint64_t want =
+              std::min<std::uint64_t>(1 + rng.below(kMaxBatch),
+                                      kMaxHeld - held.size());
+          // A single acquire_many pass can transiently come up short
+          // under churn (cells freed behind the sweep cursor are not
+          // revisited — see service.h); with the live total bounded well
+          // under n, a *bounded retry* must top the batch up. Only a
+          // persistent shortfall counts as exhaustion.
+          std::uint64_t got = service.acquire_many(want, batch);
+          for (int retry = 0; got < want && retry < 8; ++retry) {
+            got += service.acquire_many(want - got, batch + got);
+          }
+          if (got < want) ++short_batches;
+          for (std::uint64_t j = 0; j < got; ++j) {
+            const sim::Name name = batch[j];
+            if (static_cast<std::uint64_t>(name) >= capacity) {
+              ++violations;  // namespace bound broken
+              continue;
+            }
+            int expected = -1;
+            if (!owner[name].compare_exchange_strong(expected, t)) {
+              ++violations;  // uniqueness broken
+            } else {
+              held.push_back(name);
+            }
+          }
+        } else if (!held.empty()) {
+          const std::uint64_t m =
+              std::min<std::uint64_t>(1 + rng.below(kMaxBatch), held.size());
+          for (std::uint64_t j = 0; j < m; ++j) {
+            const sim::Name name = held.back();
+            held.pop_back();
+            batch[j] = name;
+            int expected = t;
+            if (!owner[name].compare_exchange_strong(expected, -1)) {
+              ++violations;
+            }
+          }
+          if (service.release_many(batch, m) != m) ++violations;
+        }
+      }
+      if (!held.empty()) {
+        for (const sim::Name name : held) owner[name].store(-1);
+        if (service.release_many(held.data(), held.size()) != held.size()) {
+          ++violations;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  // <= kMaxHeld live per thread keeps total demand under n, so a batch
+  // that stays short across the retries means real exhaustion, which the
+  // bound rules out.
+  EXPECT_EQ(short_batches.load(), 0u);
+  EXPECT_EQ(service.names_live(), 0u) << "live counter drifted";
+}
+
+TEST(RenamingServiceStress, BatchChurnAcrossShardsPadded) {
+  batch_churn_stress(/*n=*/512, /*shards=*/4, ArenaLayout::kPadded,
+                     /*threads=*/8, /*iters=*/8000);
+}
+
+TEST(RenamingServiceStress, BatchChurnAcrossShardsPacked) {
+  batch_churn_stress(/*n=*/512, /*shards=*/8, ArenaLayout::kPacked,
+                     /*threads=*/8, /*iters=*/8000);
 }
 
 TEST(RenamingService, AutoShardingPicksPowerOfTwo) {
