@@ -30,6 +30,16 @@
 // thread-churn retires workers mid-run so every acquisition runs on a
 // fresh thread's cold service caches.
 //
+// Cached-churn scenario family (the thread-local name cache): hot-reuse
+// (an 8-name working set churned release-then-reacquire — the stash's
+// best case), zero-reuse (acquire 128, release_many 128 — the stash's
+// adversarial case, where adaptation shrinks it to the floor), and
+// zipf-handoff (zipf-sized batches exchanged across threads through
+// shared slots — a mixed hit/spill pattern). Run for the sharded service
+// with the cache on and off (derived cached_speedup_at_4_threads) and for
+// the elastic service; the cached runs also report their aggregate
+// cache_hit_rate.
+//
 // burst-drain: a thread ramp 1 -> N -> 1 (one phase per step, each phase
 // its own JSON row as burst-drain-up / burst-drain-down) where active
 // workers hold a 64-name window. Run against the fixed sharded service
@@ -381,10 +391,169 @@ void thread_churn_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c) {
         if (got > 0) r.release_many(names, got);
         inner.ops += got;
       }
+      // The documented rotating-deployment contract: a worker flushes its
+      // name stash before exiting, or the dead thread strands its stashed
+      // names for the service's lifetime.
+      r.flush_thread_cache();
     });
     life.join();
     c.ops += inner.ops;
     c.failed += inner.failed;
+  }
+}
+
+// --------------------------------------------------- cached churn ----
+
+/// Hot reuse: an 8-name working set, release-then-reacquire — the
+/// steady-state churn pattern the thread-local stash turns into pure
+/// thread-local work (the released name is the next one served).
+template <class R>
+void hot_reuse_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c) {
+  constexpr int kWindow = 8;
+  std::int64_t held[kWindow];
+  int n = 0;
+  std::size_t next = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (n < kWindow) {
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        ++c.failed;
+        continue;
+      }
+      held[n++] = name;
+    } else {
+      r.release(held[next]);
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        held[next] = held[--n];
+        ++c.failed;
+        continue;
+      }
+      held[next] = name;
+      next = (next + 1) % kWindow;
+    }
+    ++c.ops;
+  }
+  for (int i = 0; i < n; ++i) r.release(held[i]);
+  r.flush_thread_cache();  // export the tail window's hit/miss counts
+}
+
+/// Adversarial zero-reuse: fill a 128-name block one acquire at a time
+/// (the stash is empty past its capacity, so almost every acquire
+/// misses), then release the whole block. The interesting number is the
+/// *cached* service staying close to the uncached one while adaptation
+/// walks the stash capacity down to the floor.
+template <class R>
+void zero_reuse_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c) {
+  constexpr int kBlock = 128;
+  std::int64_t held[kBlock];
+  while (!stop.load(std::memory_order_relaxed)) {
+    int got = 0;
+    for (int i = 0; i < kBlock; ++i) {
+      const std::int64_t name = r.acquire();
+      if (name < 0) {
+        ++c.failed;
+        break;
+      }
+      held[got++] = name;
+    }
+    if (got > 0) r.release_many(held, got);
+    c.ops += static_cast<std::uint64_t>(got);
+  }
+  r.flush_thread_cache();
+}
+
+/// Zipf handoff: zipf-sized batches are published into shared exchange
+/// slots and whatever was parked there before — usually another thread's
+/// names — is released. Releases feed the stash with foreign names, the
+/// next batch pops them back: a mixed hit/spill pattern where names
+/// migrate across threads through the shared path.
+template <class R>
+void zipf_handoff_loop(R& r, const std::atomic<bool>& stop, WorkerCount& c,
+                       const ZipfBatch& zipf,
+                       std::vector<std::atomic<std::int64_t>>& slots,
+                       std::uint64_t tseed) {
+  loren::Xoshiro256 rng(loren::mix_seed(0x21BF7, tseed));
+  std::int64_t names[kMaxBatchBench];
+  std::int64_t outgoing[kMaxBatchBench];
+  while (!stop.load(std::memory_order_relaxed)) {
+    const unsigned k = zipf.sample(rng);
+    const std::uint64_t got = r.acquire_many(k, names);
+    if (got < k) c.failed += k - got;
+    unsigned nout = 0;
+    for (std::uint64_t i = 0; i < got; ++i) {
+      const std::int64_t prev =
+          slots[rng.below(slots.size())].exchange(names[i],
+                                                  std::memory_order_acq_rel);
+      if (prev >= 0) outgoing[nout++] = prev;
+    }
+    if (nout > 0) r.release_many(outgoing, nout);
+    c.ops += got;
+  }
+  r.flush_thread_cache();
+}
+
+/// Hit-rate bookkeeping for the cached rows (matched to Result rows by
+/// (scenario, variant, threads)).
+struct CacheStat {
+  std::string scenario;
+  std::string variant;
+  unsigned threads;
+  double hit_rate;
+};
+
+/// The cached-churn matrix for one service variant. Each cell reads the
+/// service's aggregate cache statistics after its run (the worker loops
+/// flush on exit, so the tail windows are included).
+template <class MakeFn>
+void bench_cached_scenarios(const std::string& vname, MakeFn make,
+                            const std::vector<unsigned>& thread_counts,
+                            int duration_ms, std::vector<Result>& out,
+                            std::vector<CacheStat>& stats) {
+  static const ZipfBatch zipf(kMaxBatchBench, 1.2);
+  auto note_stats = [&](auto& r, const Result& res) {
+    const double h = static_cast<double>(r->cache_hits());
+    const double m = static_cast<double>(r->cache_misses());
+    stats.push_back({res.scenario, res.variant, res.threads,
+                     h + m > 0 ? h / (h + m) : 0.0});
+  };
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads(
+        "cached-churn-hot-reuse", vname, threads, duration_ms,
+        [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+          hot_reuse_loop(*r, stop, c);
+        }));
+    print_row(out.back());
+    note_stats(r, out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    out.push_back(run_threads(
+        "cached-churn-zero-reuse", vname, threads, duration_ms,
+        [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+          zero_reuse_loop(*r, stop, c);
+        }));
+    print_row(out.back());
+    note_stats(r, out.back());
+  }
+  for (unsigned threads : thread_counts) {
+    auto r = make();
+    std::vector<std::atomic<std::int64_t>> slots(threads * 8);
+    for (auto& s : slots) s.store(-1, std::memory_order_relaxed);
+    out.push_back(run_threads(
+        "cached-churn-zipf-handoff", vname, threads, duration_ms,
+        [&](unsigned t, const std::atomic<bool>& stop, WorkerCount& c) {
+          zipf_handoff_loop(*r, stop, c, zipf, slots, t);
+        }));
+    // Names parked in the exchange slots at stop are still held; release
+    // them so the service tears down clean.
+    for (auto& s : slots) {
+      const std::int64_t parked = s.load(std::memory_order_relaxed);
+      if (parked >= 0) r->release(parked);
+    }
+    print_row(out.back());
+    note_stats(r, out.back());
   }
 }
 
@@ -407,6 +576,10 @@ void burst_drain_worker(R& r, unsigned t, const std::atomic<unsigned>& active,
     if (t >= active.load(std::memory_order_relaxed)) {
       for (const std::int64_t n : held) r.release(n);
       held.clear();
+      // A parked worker flushes its name stash: stranded stashed names
+      // would hold retired elastic generations against draining (and keep
+      // fixed-service cells out of circulation) for the whole drain phase.
+      r.flush_thread_cache();
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       continue;
     }
@@ -824,6 +997,37 @@ int main(int argc, char** argv) {
       },
       thread_counts, duration_ms, n, results);
 
+  // ---- cached churn: the thread-local name cache on / off --------------
+  std::vector<CacheStat> cache_stats;
+  auto make_service_uncached = [n, eps](std::uint64_t shards,
+                                        ArenaLayout layout) {
+    loren::RenamingServiceOptions opts;
+    opts.epsilon = eps;
+    opts.shards = shards;
+    opts.arena_layout = layout;
+    opts.name_cache = false;
+    return std::make_unique<loren::RenamingService>(n, opts);
+  };
+  bench_cached_scenarios(
+      "service-cached",
+      [&] { return make_service(service_shards, ArenaLayout::kPadded); },
+      thread_counts, duration_ms, results, cache_stats);
+  bench_cached_scenarios(
+      "service-uncached",
+      [&] { return make_service_uncached(service_shards, ArenaLayout::kPadded); },
+      thread_counts, duration_ms, results, cache_stats);
+  bench_cached_scenarios(
+      "elastic-cached",
+      [&] {
+        loren::ElasticOptions eopts;
+        eopts.epsilon = eps;
+        const std::uint64_t start = std::min<std::uint64_t>(1024, n);
+        eopts.min_holders = start;
+        eopts.max_holders = n;
+        return std::make_unique<loren::ElasticRenamingService>(start, eopts);
+      },
+      thread_counts, duration_ms, results, cache_stats);
+
   // ---- burst/drain ramp: fixed peak provisioning vs elastic ------------
   const unsigned ramp_peak = thread_counts.back();
   const int phase_ms = std::max(duration_ms / 2, quick ? 30 : 100);
@@ -917,6 +1121,36 @@ int main(int argc, char** argv) {
               singles);
     }
   }
+  // The thread-local name cache: hot-reuse churn with the stash vs the
+  // identically configured uncached service (acceptance: >= 1.3x at 4
+  // threads), plus the aggregate hit rates the cached rows observed.
+  const double uncached_hot =
+      items("cached-churn-hot-reuse", "service-uncached", 4);
+  if (uncached_hot > 0) {
+    derived.emplace_back(
+        "cached_speedup_at_4_threads",
+        items("cached-churn-hot-reuse", "service-cached", 4) / uncached_hot);
+  }
+  auto hit_rate = [&](const std::string& sc, const std::string& v,
+                      unsigned threads) -> double {
+    for (const CacheStat& s : cache_stats) {
+      if (s.scenario == sc && s.variant == v && s.threads == threads) {
+        return s.hit_rate;
+      }
+    }
+    return 0;
+  };
+  derived.emplace_back("cache_hit_rate",
+                       hit_rate("cached-churn-hot-reuse", "service-cached", 4));
+  derived.emplace_back(
+      "cache_hit_rate_zero_reuse",
+      hit_rate("cached-churn-zero-reuse", "service-cached", 4));
+  derived.emplace_back(
+      "cache_hit_rate_zipf_handoff",
+      hit_rate("cached-churn-zipf-handoff", "service-cached", 4));
+  derived.emplace_back(
+      "cache_hit_rate_elastic",
+      hit_rate("cached-churn-hot-reuse", "elastic-cached", 4));
   // The elastic resize trajectory over the burst/drain ramp: grows on the
   // way up, shrinks + reclaims on the way down, holders back at the floor.
   derived.emplace_back("elastic_grow_events",

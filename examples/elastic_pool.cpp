@@ -39,6 +39,9 @@ int main() {
         if (t >= active.load(std::memory_order_relaxed)) {
           for (const auto n : held) pool.release(n);
           held.clear();
+          // Parked workers flush their name stash too: stranded stashed
+          // names would hold a retired generation against reclamation.
+          pool.flush_thread_cache();
           std::this_thread::sleep_for(std::chrono::microseconds(200));
           continue;
         }
@@ -57,6 +60,9 @@ int main() {
         }
       }
       for (const auto n : held) pool.release(n);
+      // The worker-exit contract: flush before the thread dies, or the
+      // dead thread's stash pins its names for the pool's lifetime.
+      pool.flush_thread_cache();
     });
   }
 

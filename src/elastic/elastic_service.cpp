@@ -9,13 +9,16 @@
 namespace {
 
 /// Per-(thread, service) hot-path state: this thread's epoch slot in the
-/// service's domain, its sticky shard hint (masked down when the live
-/// group has fewer shards — after a resize the hint is merely stale,
-/// never wrong), and the release-path maintenance sample counter.
+/// service's domain (registered lazily — the introspection accessors must
+/// be able to touch the entry without registering), its sticky shard hint
+/// (masked down when the live group has fewer shards — after a resize the
+/// hint is merely stale, never wrong), the release-path maintenance sample
+/// counter, and the thread-local name stash.
 struct PerElastic {
   loren::EpochDomain::Slot* slot = nullptr;
   std::uint32_t shard = 0;
   std::uint32_t sample = 0;
+  loren::NameStash stash;
 };
 
 struct ThreadCtx {
@@ -30,6 +33,15 @@ struct ThreadCtx {
 ThreadCtx& thread_ctx(std::uint64_t seed) {
   thread_local ThreadCtx ctx(seed, loren::dense_thread_slot());
   return ctx;
+}
+
+PerElastic& per_elastic(ThreadCtx& ctx, std::uint64_t service_id,
+                        std::uint32_t stash_capacity) {
+  return ctx.services.for_service(
+      service_id, [&ctx, stash_capacity](PerElastic& p) {
+        p.shard = static_cast<std::uint32_t>(ctx.tslot);
+        p.stash.configure(stash_capacity);
+      });
 }
 
 loren::BatchLayoutParams with_epsilon(loren::BatchLayoutParams p, double eps) {
@@ -119,20 +131,104 @@ ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
   ShardGroup* raw = group.get();
   live_local_capacity_.store(raw->local_capacity(), std::memory_order_release);
   live_holders_.store(initial, std::memory_order_release);
+  live_tag_.store(0, std::memory_order_release);
   groups_[0].store(raw, std::memory_order_release);
   live_group_.store(raw, std::memory_order_release);
   generation_.store(1, std::memory_order_release);
   linked_.push_back(std::move(group));
 }
 
+void ElasticRenamingService::cache_sync_gen(NameStash& st,
+                                            EpochDomain::Slot& slot) {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (st.gen() == gen) return;
+  // A resize was published since the stash was filled: its contents are
+  // names still *held* in what is now a retired (or at least older)
+  // generation. Flush them through the shared tag-table path so that
+  // generation can drain, then re-tag against the live group. (The tag
+  // and generation are read separately; a resize racing between the two
+  // loads only costs one extra flush on the next call — the stale pairing
+  // fails this gen check again and self-heals.)
+  if (!st.empty()) {
+    Name buf[NameStash::kMaxCapacity];
+    const std::uint32_t n = st.take_oldest(buf, st.size());
+    release_shared(buf, n, slot);
+  }
+  st.set_gen(gen);
+  st.set_expected_tag(live_tag_.load(std::memory_order_acquire));
+}
+
+void ElasticRenamingService::cache_note_acquire(NameStash& st, bool hit,
+                                                EpochDomain::Slot& slot) {
+  const NameStash::WindowStats ws = st.note_acquire(hit);
+  if (ws.rolled) {
+    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
+    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
+    if (st.excess() > 0) cache_spill(st, st.excess(), slot);
+  }
+}
+
+void ElasticRenamingService::cache_spill(NameStash& st, std::uint32_t k,
+                                         EpochDomain::Slot& slot) {
+  Name buf[NameStash::kMaxCapacity];
+  const std::uint32_t n = st.take_oldest(buf, k);
+  release_shared(buf, n, slot);
+}
+
+std::uint64_t ElasticRenamingService::flush_thread_cache() {
+  if (!options_.name_cache) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  NameStash& st = per.stash;
+  const NameStash::WindowStats ws = st.take_partial_window();
+  if (ws.rolled) {
+    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
+    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
+  }
+  std::uint64_t freed = 0;
+  if (!st.empty()) {
+    Name buf[NameStash::kMaxCapacity];
+    const std::uint32_t n = st.take_oldest(buf, st.size());
+    freed = release_shared(buf, n, *per.slot);
+  }
+  st.set_gen(generation_.load(std::memory_order_acquire));
+  st.set_expected_tag(live_tag_.load(std::memory_order_acquire));
+  // A flush often precedes a drain check; push reclamation forward now
+  // rather than waiting for the sampled release-path cadence.
+  if (freed > 0) maintenance();
+  return freed;
+}
+
+std::uint32_t ElasticRenamingService::thread_cache_size() const {
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  return per_elastic(ctx, id_, options_.name_cache_capacity).stash.size();
+}
+
+std::uint32_t ElasticRenamingService::thread_cache_capacity() const {
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  return per_elastic(ctx, id_, options_.name_cache_capacity).stash.capacity();
+}
+
 ElasticRenamingService::~ElasticRenamingService() = default;
 
 Name ElasticRenamingService::acquire() {
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
-    p.slot = &domain_.register_thread();
-    p.shard = static_cast<std::uint32_t>(ctx.tslot);
-  });
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (options_.name_cache) {
+    NameStash& st = per.stash;
+    cache_sync_gen(st, *per.slot);
+    if (!st.empty()) {
+      // The steady-state hot path: a pop from thread-owned memory — no
+      // epoch pin, no probes, no counter traffic. The name's cell stayed
+      // taken in its (still live: the generation matched) group.
+      const Name name = static_cast<Name>(st.pop());
+      cache_note_acquire(st, true, *per.slot);
+      return name;
+    }
+    cache_note_acquire(st, false, *per.slot);
+  }
 
   // Bounded by the doubling ladder: each failed round either resized the
   // service or returns -1, so the loop runs O(log2(max/min)) times worst
@@ -195,10 +291,39 @@ bool ElasticRenamingService::release(Name name) {
   const DecodedName d = decode_name(name, options_.debug_release_guard);
 
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
-    p.slot = &domain_.register_thread();
-    p.shard = static_cast<std::uint32_t>(ctx.tslot);
-  });
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (options_.name_cache) {
+    NameStash& st = per.stash;
+    cache_sync_gen(st, *per.slot);
+    // Only live-generation names are ever stashed: the 3-bit tag must
+    // match the live group's (the stash-invalidation rule) and the local
+    // index its bound. A name from a retired-but-draining generation
+    // takes the shared path below, so retirees keep draining.
+    if (d.tag == st.expected_tag() &&
+        d.local < live_local_capacity_.load(std::memory_order_acquire)) {
+      if (st.contains(name)) return false;  // same-thread double release
+      // Validate under a pin that the cell really is held before touching
+      // anything (never-acquired or already-freed values must keep
+      // failing, as on the shared path — and a failing release must have
+      // no side effects, so the overflow spill waits until the name has
+      // validated). No RMW and no counter update — the cell stays taken
+      // and the group's live count stays up.
+      bool held = false;
+      {
+        EpochDomain::Guard guard(domain_, *per.slot);
+        ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
+        held = g != nullptr &&
+               stamp_matches(*g, d, options_.debug_release_guard) &&
+               g->is_held(d.local);
+      }
+      if (!held) return false;
+      if (st.full()) cache_spill(st, st.capacity() / 2 + 1, *per.slot);
+      st.push(name);
+      if ((++per.sample & 63u) == 0) maintenance();
+      return true;
+    }
+  }
   {
     EpochDomain::Guard guard(domain_, *per.slot);
     ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
@@ -217,12 +342,20 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
                                                    Name* out) {
   if (k == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
-    p.slot = &domain_.register_thread();
-    p.shard = static_cast<std::uint32_t>(ctx.tslot);
-  });
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) per.slot = &domain_.register_thread();
 
   std::uint64_t got = 0;
+  if (options_.name_cache) {
+    NameStash& st = per.stash;
+    cache_sync_gen(st, *per.slot);
+    while (got < k && !st.empty()) {
+      out[got++] = static_cast<Name>(st.pop());
+      cache_note_acquire(st, true, *per.slot);
+    }
+    if (got == k) return got;
+  }
+  const std::uint64_t from_cache = got;
   // Each round runs against one generation under one epoch pin; a round
   // that leaves a shortfall grows the namespace and the next round claims
   // the remainder from the new generation, so the loop is bounded by the
@@ -253,7 +386,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       if (miss_streak_.load(std::memory_order_relaxed) != 0) {
         miss_streak_.store(0, std::memory_order_relaxed);
       }
-      return got;
+      break;
     }
     // Shortfall past try_acquire_many's sweep backstop: the live group
     // really had fewer than the remaining demand free. That is one
@@ -262,41 +395,91 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
     miss_streak_.fetch_add(1, std::memory_order_relaxed);
     if (!options_.auto_grow || !grow_from(seen_gen)) break;
   }
+  if (options_.name_cache) {
+    for (std::uint64_t i = from_cache; i < got; ++i) {
+      cache_note_acquire(per.stash, false, *per.slot);
+    }
+  }
   return got;
+}
+
+std::uint64_t ElasticRenamingService::release_shared(const Name* names,
+                                                     std::uint64_t count,
+                                                     EpochDomain::Slot& slot) {
+  std::uint64_t freed = 0;
+  EpochDomain::Guard guard(domain_, slot);
+  // Batches overwhelmingly come from one generation, so coalesce the
+  // live-counter updates per group and flush on change.
+  ShardGroup* run_group = nullptr;
+  std::int64_t run_freed = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Name name = names[i];
+    if (name < 0) continue;
+    const DecodedName d = decode_name(name, options_.debug_release_guard);
+    ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
+    if (g == nullptr) continue;
+    if (!stamp_matches(*g, d, options_.debug_release_guard)) continue;
+    if (!g->release_local(d.local)) continue;
+    if (g != run_group) {
+      if (run_group != nullptr) run_group->note_released_n(run_freed);
+      run_group = g;
+      run_freed = 0;
+    }
+    ++run_freed;
+    ++freed;
+  }
+  if (run_group != nullptr) run_group->note_released_n(run_freed);
+  return freed;
 }
 
 std::uint64_t ElasticRenamingService::release_many(const Name* names,
                                                    std::uint64_t count) {
   if (count == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  PerElastic& per = ctx.services.for_service(id_, [&](PerElastic& p) {
-    p.slot = &domain_.register_thread();
-    p.shard = static_cast<std::uint32_t>(ctx.tslot);
-  });
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) per.slot = &domain_.register_thread();
   std::uint64_t freed = 0;
-  {
-    EpochDomain::Guard guard(domain_, *per.slot);
-    // Batches overwhelmingly come from one generation, so coalesce the
-    // live-counter updates per group and flush on change.
-    ShardGroup* run_group = nullptr;
-    std::int64_t run_freed = 0;
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const Name name = names[i];
-      if (name < 0) continue;
-      const DecodedName d = decode_name(name, options_.debug_release_guard);
-      ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
-      if (g == nullptr) continue;
-      if (!stamp_matches(*g, d, options_.debug_release_guard)) continue;
-      if (!g->release_local(d.local)) continue;
-      if (g != run_group) {
-        if (run_group != nullptr) run_group->note_released_n(run_freed);
-        run_group = g;
-        run_freed = 0;
+  if (!options_.name_cache) {
+    freed = release_shared(names, count, *per.slot);
+    if (freed > 0 && (++per.sample & 63u) == 0) maintenance();
+    return freed;
+  }
+  NameStash& st = per.stash;
+  cache_sync_gen(st, *per.slot);
+  const std::uint32_t live_tag = st.expected_tag();
+  const std::uint64_t local_cap =
+      live_local_capacity_.load(std::memory_order_acquire);
+  // Classify under one pin per chunk (a Guard must never nest on one
+  // slot, so the shared remainder is released between pins): stashable
+  // live-generation names are validated and parked, everything else —
+  // stale-tag names, out-of-range values, stash overflow — is forwarded
+  // to the shared path.
+  Name shared_buf[NameStash::kMaxCapacity];
+  std::uint64_t i = 0;
+  while (i < count) {
+    std::uint32_t n_shared = 0;
+    {
+      EpochDomain::Guard guard(domain_, *per.slot);
+      for (; i < count && n_shared < NameStash::kMaxCapacity; ++i) {
+        const Name name = names[i];
+        if (name < 0) continue;
+        const DecodedName d = decode_name(name, options_.debug_release_guard);
+        if (st.contains(name)) continue;  // same-thread double release
+        if (d.tag == live_tag && d.local < local_cap && !st.full()) {
+          ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
+          if (g == nullptr ||
+              !stamp_matches(*g, d, options_.debug_release_guard) ||
+              !g->is_held(d.local)) {
+            continue;  // not currently held: reject as the shared path would
+          }
+          st.push(name);
+          ++freed;
+          continue;
+        }
+        shared_buf[n_shared++] = name;
       }
-      ++run_freed;
-      ++freed;
     }
-    if (run_group != nullptr) run_group->note_released_n(run_freed);
+    if (n_shared > 0) freed += release_shared(shared_buf, n_shared, *per.slot);
   }
   // Same sampled maintenance cadence as release(): one batch counts once.
   if (freed > 0 && (++per.sample & 63u) == 0) maintenance();
@@ -358,6 +541,7 @@ bool ElasticRenamingService::resize_locked(std::uint64_t target) {
   // still insert into the old group".
   live_local_capacity_.store(raw->local_capacity(), std::memory_order_release);
   live_holders_.store(target, std::memory_order_release);
+  live_tag_.store(static_cast<std::uint32_t>(tag), std::memory_order_release);
   groups_[static_cast<std::size_t>(tag)].store(raw, std::memory_order_release);
   live_group_.store(raw, std::memory_order_release);
   generation_.store(gen, std::memory_order_release);

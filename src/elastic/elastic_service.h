@@ -56,6 +56,7 @@
 #include "platform/epoch.h"
 #include "renaming/batch_layout.h"
 #include "renaming/schedule_cache.h"
+#include "renaming/thread_ctx.h"
 #include "sim/env.h"
 #include "tas/tas_arena.h"
 
@@ -88,6 +89,19 @@ struct ElasticOptions {
   /// to decide when (e.g. between traffic phases).
   bool auto_shrink = false;
   std::uint32_t shrink_low_threshold = 2;
+  /// Thread-local name cache: each thread keeps a bounded stash of
+  /// live-generation names it released, re-issued to that thread with no
+  /// epoch pin, no probes and no shared RMW. Stashes are tagged with the
+  /// resize generation: any grow/shrink invalidates them, and their
+  /// contents are flushed through the shared tag-table path on the owning
+  /// thread's next call, so retired generations still drain (a *parked*
+  /// thread's stash delays that drain until it calls again or
+  /// flush_thread_cache()s — see docs/protocols.md). Stashed names stay
+  /// counted by names_live() and keep their group's live counter up.
+  bool name_cache = true;
+  /// Initial per-thread stash capacity; per-thread hit-rate adaptation
+  /// moves it within [NameStash::kMinCapacity, NameStash::kMaxCapacity].
+  std::uint32_t name_cache_capacity = 16;
   /// Diagnostic hardening against *contract-violating* releases: stamp
   /// the issuing generation into bits [48, 63) of every name and reject a
   /// release whose stamp does not match the generation currently holding
@@ -114,8 +128,14 @@ class ElasticRenamingService {
   static constexpr std::uint32_t kGenStampShift = 48;
   static constexpr std::uint64_t kGenStampMask = 0x7FFF;
 
+  /// Publishes generation 1, laid out for `initial_holders` (clamped to
+  /// [min_holders, max_holders]). Throws std::invalid_argument for
+  /// initial_holders == 0 or min_holders > max_holders. Immediately
+  /// usable from any thread.
   explicit ElasticRenamingService(std::uint64_t initial_holders,
                                   ElasticOptions options = {});
+  /// Requires external quiescence (no calls in flight on any thread) —
+  /// the same contract as the other services' reset().
   ~ElasticRenamingService();
 
   ElasticRenamingService(const ElasticRenamingService&) = delete;
@@ -160,8 +180,19 @@ class ElasticRenamingService {
 
   /// One reclamation pass: unlink drained retirees, free quiesced limbo
   /// groups. Returns groups freed by this call. Also runs opportunistically
-  /// (sampled) on the release path, so calling it is optional.
+  /// (sampled) on the release path, so calling it is optional. Safe from
+  /// any thread; takes the (cold) resize mutex. Cannot reclaim a group
+  /// whose names sit in some thread's stash — that thread must call into
+  /// the service (or flush_thread_cache()) once after the resize first.
   std::size_t reclaim();
+
+  /// Releases every name in the calling thread's stash for this service
+  /// through the shared tag-table path (names from any generation route
+  /// to their own group) and folds the thread's pending cache statistics
+  /// into the aggregate. Returns the number flushed. Call when a thread
+  /// parks or before it exits — a dead thread's stash otherwise pins its
+  /// names' generations against draining for the service's lifetime.
+  std::uint64_t flush_thread_cache();
 
   /// Bound on newly issued names: local capacity of the live generation
   /// times 2^kTagBits. Names issued by earlier, larger generations may
@@ -196,6 +227,18 @@ class ElasticRenamingService {
   [[nodiscard]] std::uint64_t reclaimed_groups() const {
     return reclaimed_groups_.load(std::memory_order_relaxed);
   }
+  /// Aggregate name-cache statistics (folded in window-at-a-time; they
+  /// lag by up to one adaptation window per thread until flushed).
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// The calling thread's stash occupancy / adaptive capacity for this
+  /// service (introspection and tests).
+  [[nodiscard]] std::uint32_t thread_cache_size() const;
+  [[nodiscard]] std::uint32_t thread_cache_capacity() const;
   [[nodiscard]] const ElasticOptions& options() const { return options_; }
 
  private:
@@ -216,6 +259,24 @@ class ElasticRenamingService {
   /// Sampled release-path maintenance: reclamation + auto-shrink check.
   void maintenance();
 
+  /// The shared release path, bypassing the stash: one epoch pin, the
+  /// tag-table decode/release loop, coalesced per-group live updates.
+  /// `slot` is the caller's registered epoch slot. Both public release
+  /// surfaces and the stash flush/spill paths bottom out here.
+  std::uint64_t release_shared(const sim::Name* names, std::uint64_t count,
+                               EpochDomain::Slot& slot);
+
+  /// Re-tags `st` against the current resize generation; on mismatch the
+  /// contents — names still held in a now-retired group — are flushed
+  /// through release_shared so that group can drain (the stash-
+  /// invalidation rule; see docs/protocols.md).
+  void cache_sync_gen(NameStash& st, EpochDomain::Slot& slot);
+  /// Hit/miss accounting; window roll-ups fold into the aggregate and
+  /// spill any excess above an adaptively shrunk capacity.
+  void cache_note_acquire(NameStash& st, bool hit, EpochDomain::Slot& slot);
+  /// Spills the `k` oldest stashed names through release_shared.
+  void cache_spill(NameStash& st, std::uint32_t k, EpochDomain::Slot& slot);
+
   ElasticOptions options_;
   std::uint64_t min_holders_;
   std::uint64_t id_;  // process-unique (thread_ctx.h), keys per-thread state
@@ -228,9 +289,12 @@ class ElasticRenamingService {
   std::array<std::atomic<ShardGroup*>, kMaxGroups> groups_{};
 
   /// Lock-free mirrors of the live group's geometry so capacity()/holders()
-  /// never dereference a pointer that a concurrent resize might retire.
+  /// never dereference a pointer that a concurrent resize might retire —
+  /// and so the name-cache fast paths can validate a name's tag and range
+  /// without pinning the epoch.
   std::atomic<std::uint64_t> live_local_capacity_{0};
   std::atomic<std::uint64_t> live_holders_{0};
+  std::atomic<std::uint32_t> live_tag_{0};
 
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<std::uint32_t> miss_streak_{0};
@@ -240,6 +304,11 @@ class ElasticRenamingService {
   std::atomic<std::uint64_t> grow_events_{0};
   std::atomic<std::uint64_t> shrink_events_{0};
   std::atomic<std::uint64_t> reclaimed_groups_{0};
+
+  /// Aggregate name-cache statistics (cold: folded in one window at a
+  /// time from the per-thread stashes).
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
 
   /// Serializes resize + reclamation bookkeeping (cold path only).
   mutable std::mutex resize_mu_;

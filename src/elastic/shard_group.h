@@ -70,6 +70,14 @@ class ShardGroup {
   /// succeed).
   bool release_local(std::uint64_t local);
 
+  /// True iff `local` is currently taken (a plain acquire load, no RMW).
+  /// The release path of the thread-local name cache uses this to
+  /// validate a name before stashing it instead of freeing its cell.
+  [[nodiscard]] bool is_held(std::uint64_t local) const {
+    if (local >= local_capacity()) return false;
+    return segments_[local & shard_mask_].read(local >> shard_shift_) == 1;
+  }
+
   /// Bookkeeping around the arena ops (the service calls these inside the
   /// same epoch pin as the arena op itself — see shard_group.h preamble).
   void note_acquired() { live_.add(1); }

@@ -31,6 +31,10 @@ using loren::RegisteredCounter;
 struct PerService {
   std::uint32_t shard = 0;
   RegisteredCounter::Node* counter = nullptr;
+  /// The thread-local name cache (renaming/thread_ctx.h): released names
+  /// parked here are re-issued to this thread with no shared-memory
+  /// traffic at all. Tagged with the service's reset generation.
+  loren::NameStash stash;
 };
 
 struct ThreadCtx {
@@ -41,9 +45,11 @@ struct ThreadCtx {
   explicit ThreadCtx(std::uint64_t seed, std::uint64_t slot_)
       : slot(slot_), rng(loren::mix_seed(seed, slot_)) {}
 
-  PerService& for_service(std::uint64_t service_id, std::uint64_t home) {
-    return services.for_service(service_id, [home](PerService& p) {
+  PerService& for_service(std::uint64_t service_id, std::uint64_t home,
+                          std::uint32_t stash_capacity) {
+    return services.for_service(service_id, [home, stash_capacity](PerService& p) {
       p.shard = static_cast<std::uint32_t>(home);
+      p.stash.configure(stash_capacity);
     });
   }
 };
@@ -148,10 +154,50 @@ Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
   return -1;
 }
 
+void RenamingService::cache_sync_gen(NameStash& st) const {
+  const std::uint64_t gen = cache_gen_.load(std::memory_order_relaxed);
+  if (st.gen() != gen) {
+    // reset() ran since the stash was filled: the epoch bump already made
+    // every stashed cell winnable again, so the values are simply stale.
+    st.clear();
+    st.set_gen(gen);
+  }
+}
+
+void RenamingService::cache_note_acquire(NameStash& st, bool hit,
+                                         RegisteredCounter::Node& counter) {
+  const NameStash::WindowStats ws = st.note_acquire(hit);
+  if (ws.rolled) {
+    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
+    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
+    if (st.excess() > 0) cache_spill(st, st.excess(), counter);
+  }
+}
+
+void RenamingService::cache_spill(NameStash& st, std::uint32_t k,
+                                  RegisteredCounter::Node& counter) {
+  Name buf[NameStash::kMaxCapacity];
+  const std::uint32_t n = st.take_oldest(buf, k);
+  release_shared(buf, n, counter);
+}
+
 Name RenamingService::acquire() {
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
   if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (options_.name_cache) {
+    NameStash& st = per.stash;
+    cache_sync_gen(st);
+    if (!st.empty()) {
+      // The whole hot path: a pop from thread-owned memory. The name's
+      // cell stayed taken and the live counter never moved, so no shared
+      // state needs touching at all.
+      const Name name = static_cast<Name>(st.pop());
+      cache_note_acquire(st, true, *per.counter);
+      return name;
+    }
+    cache_note_acquire(st, false, *per.counter);
+  }
   const std::uint64_t S = shard_mask_ + 1;
   // Fast path: the sticky shard; on pressure (late win) migrate ringward,
   // on a full miss steal ringward, so loaded shards shed to neighbours.
@@ -201,13 +247,23 @@ std::uint64_t RenamingService::claim_encoded(Shard& shard,
 std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
   if (k == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
   if (per.counter == nullptr) per.counter = &live_.register_thread();
+  std::uint64_t got = 0;
+  if (options_.name_cache) {
+    NameStash& st = per.stash;
+    cache_sync_gen(st);
+    while (got < k && !st.empty()) {
+      out[got++] = static_cast<Name>(st.pop());
+      cache_note_acquire(st, true, *per.counter);
+    }
+    if (got == k) return got;
+  }
   // The shared seed-and-run-claim ring walk (renaming/batch_claim.h): a
   // shortfall past its sweep backstop means fewer than k cells were free
   // across the whole namespace when scanned.
-  const std::uint64_t got = batch_claim_ring(
-      shard_mask_, shard_shift_, shard_stride_, &per.shard, k, out,
+  const std::uint64_t shared_got = batch_claim_ring(
+      shard_mask_, shard_shift_, shard_stride_, &per.shard, k - got, out + got,
       [&](std::uint64_t si, bool* late) {
         return probe_shard(*shards_[si], si, ctx.rng, *late);
       },
@@ -215,14 +271,20 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
           std::uint64_t budget, Name* dst) {
         return claim_encoded(*shards_[si], si, from, to, budget, dst);
       });
-  if (got > 0) {
-    RegisteredCounter::add(*per.counter, static_cast<std::int64_t>(got));
+  if (shared_got > 0) {
+    RegisteredCounter::add(*per.counter, static_cast<std::int64_t>(shared_got));
   }
-  return got;
+  if (options_.name_cache) {
+    for (std::uint64_t i = 0; i < shared_got; ++i) {
+      cache_note_acquire(per.stash, false, *per.counter);
+    }
+  }
+  return got + shared_got;
 }
 
-std::uint64_t RenamingService::release_many(const Name* names,
-                                            std::uint64_t count) {
+std::uint64_t RenamingService::release_shared(const Name* names,
+                                              std::uint64_t count,
+                                              RegisteredCounter::Node& counter) {
   std::uint64_t freed = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     const Name name = names[i];
@@ -232,11 +294,46 @@ std::uint64_t RenamingService::release_many(const Name* names,
     if (shards_[si]->arena.try_release(local)) ++freed;
   }
   if (freed > 0) {
-    ThreadCtx& ctx = thread_ctx(options_.seed);
-    auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
-    if (per.counter == nullptr) per.counter = &live_.register_thread();
-    RegisteredCounter::add(*per.counter, -static_cast<std::int64_t>(freed));
+    RegisteredCounter::add(counter, -static_cast<std::int64_t>(freed));
   }
+  return freed;
+}
+
+std::uint64_t RenamingService::release_many(const Name* names,
+                                            std::uint64_t count) {
+  if (count == 0) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (!options_.name_cache) return release_shared(names, count, *per.counter);
+  NameStash& st = per.stash;
+  cache_sync_gen(st);
+  std::uint64_t freed = 0;
+  // Names the stash cannot absorb are forwarded to the shared path in
+  // chunks, so an arbitrarily long batch still does O(count / chunk)
+  // counter adds.
+  Name shared_buf[NameStash::kMaxCapacity];
+  std::uint32_t n_shared = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Name name = names[i];
+    if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) continue;
+    if (st.contains(name)) continue;  // same-thread double release
+    if (!st.full()) {
+      const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
+      const std::uint64_t local =
+          static_cast<std::uint64_t>(name) >> shard_shift_;
+      if (shards_[si]->arena.read(local) != 1) continue;  // not held
+      st.push(name);
+      ++freed;
+      continue;
+    }
+    shared_buf[n_shared++] = name;
+    if (n_shared == NameStash::kMaxCapacity) {
+      freed += release_shared(shared_buf, n_shared, *per.counter);
+      n_shared = 0;
+    }
+  }
+  if (n_shared > 0) freed += release_shared(shared_buf, n_shared, *per.counter);
   return freed;
 }
 
@@ -244,17 +341,72 @@ bool RenamingService::release(Name name) {
   if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) return false;
   const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
   const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
+  if (options_.name_cache) {
+    ThreadCtx& ctx = thread_ctx(options_.seed);
+    auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+    NameStash& st = per.stash;
+    cache_sync_gen(st);
+    if (st.contains(name)) return false;  // same-thread double release
+    // The cell must actually be taken for the release to be legitimate; a
+    // plain load suffices (the cell stays taken while stashed), and for a
+    // conforming caller the line is still in this core's cache from the
+    // acquisition. Contract-violating races (two threads releasing one
+    // held name) are undetectable without the RMW — see release()'s
+    // contract in service.h.
+    if (shards_[si]->arena.read(local) != 1) return false;
+    if (st.full()) {
+      if (per.counter == nullptr) per.counter = &live_.register_thread();
+      cache_spill(st, st.capacity() / 2 + 1, *per.counter);
+    }
+    st.push(name);
+    return true;
+  }
   if (!shards_[si]->arena.try_release(local)) return false;
   ThreadCtx& ctx = thread_ctx(options_.seed);
-  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
   if (per.counter == nullptr) per.counter = &live_.register_thread();
   RegisteredCounter::add(*per.counter, -1);
   return true;
 }
 
+std::uint64_t RenamingService::flush_thread_cache() {
+  if (!options_.name_cache) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+  NameStash& st = per.stash;
+  cache_sync_gen(st);
+  const NameStash::WindowStats ws = st.take_partial_window();
+  if (ws.rolled) {
+    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
+    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
+  }
+  if (st.empty()) return 0;
+  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  Name buf[NameStash::kMaxCapacity];
+  const std::uint32_t n = st.take_oldest(buf, st.size());
+  return release_shared(buf, n, *per.counter);
+}
+
+std::uint32_t RenamingService::thread_cache_size() const {
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+  cache_sync_gen(per.stash);
+  return per.stash.size();
+}
+
+std::uint32_t RenamingService::thread_cache_capacity() const {
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+  return per.stash.capacity();
+}
+
 void RenamingService::reset() {
   for (auto& shard : shards_) shard->arena.reset();
   live_.reset();
+  // Invalidate every thread's stash: contents are discarded (not spilled)
+  // on the owning thread's next call, because the epoch bumps above
+  // already made the stashed cells winnable again.
+  cache_gen_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t RenamingService::home_shard() const {

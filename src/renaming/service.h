@@ -53,6 +53,7 @@
 #include "platform/registered_counter.h"
 #include "renaming/batch_layout.h"
 #include "renaming/probe_schedule.h"
+#include "renaming/thread_ctx.h"
 #include "sim/env.h"
 #include "tas/tas_arena.h"
 
@@ -95,22 +96,44 @@ struct RenamingServiceOptions {
   ArenaLayout arena_layout = ArenaLayout::kPadded;
   std::uint64_t seed = 0x53ED;
   BatchLayoutParams layout_extra{};
+  /// Thread-local name cache: each thread keeps a bounded stash of names
+  /// it released against this service, so a steady-state churn thread
+  /// re-acquires its own names with zero probes, zero counter traffic and
+  /// no shared RMW. A stashed name's cell stays taken and stays counted
+  /// by names_live() until the stash spills or is flushed — see
+  /// docs/protocols.md, "The thread-local name cache". Disable for the
+  /// tightest exhaustion semantics (acquire() == -1 then means *zero*
+  /// cells free, with no residue parked in other threads' stashes).
+  bool name_cache = true;
+  /// Initial per-thread stash capacity; per-thread hit-rate adaptation
+  /// moves it within [NameStash::kMinCapacity, NameStash::kMaxCapacity].
+  std::uint32_t name_cache_capacity = 16;
 };
 
 class RenamingService {
  public:
   /// Serves up to `n` concurrent holders from a ~(1+eps)n namespace.
+  /// Throws std::invalid_argument for n == 0. The constructed service is
+  /// immediately usable from any thread.
   explicit RenamingService(std::uint64_t n, RenamingServiceOptions options = {});
 
-  /// Unique name in [0, capacity()), or -1 iff the namespace is exhausted.
-  /// Safe to call from any thread; lock-free (the slow path is a bounded
-  /// sweep, never a wait).
+  /// Unique name in [0, capacity()), or -1 iff no free cell was found.
+  /// Safe to call from any thread; never blocks and never spins — the
+  /// slow path is one bounded deterministic sweep over every cell, after
+  /// which -1 means every cell was taken when scanned. With the name
+  /// cache on, "taken" includes names parked in *other* threads' stashes
+  /// (bounded by stash capacity x threads); callers that must squeeze the
+  /// last few names out have the holders flush_thread_cache() first.
   sim::Name acquire();
 
   /// Frees `name` for reacquisition. Returns false (and changes nothing)
   /// when the name is not currently held — a double release or a foreign
-  /// value; single-RMW validation, so concurrent double releases cannot
-  /// both succeed.
+  /// value. Safe from any thread; never blocks. Uncached, validation is a
+  /// single RMW, so concurrent double releases cannot both succeed; with
+  /// the name cache on, a release the stash absorbs validates with a
+  /// stash-duplicate scan plus a cell load instead (same observable
+  /// results for conforming callers; two *racing* releases of one held
+  /// name — already outside the release contract — may both return true).
   bool release(sim::Name name);
 
   /// Batched acquisition: claims up to `k` unique names into `out` and
@@ -130,25 +153,56 @@ class RenamingService {
   /// still a per-cell TAS).
   std::uint64_t acquire_many(std::uint64_t k, sim::Name* out);
 
-  /// Frees `count` names with one counter add. Returns how many were
-  /// actually freed; invalid or not-held entries are skipped (each entry
-  /// has release()'s single-RMW validation).
+  /// Frees `count` names with one counter add (stash absorption first,
+  /// then one shared pass for the remainder). Returns how many were
+  /// actually freed; invalid or not-held entries are skipped (validation
+  /// as in release()). Safe from any thread; never blocks.
   std::uint64_t release_many(const sim::Name* names, std::uint64_t count);
 
-  /// O(S) full reset: epoch-bumps every shard arena and zeroes the live
-  /// counter. Not safe concurrently with acquire/release — quiesce first.
+  /// Releases every name in the calling thread's stash for this service
+  /// through the shared path (one counter add) and folds the thread's
+  /// pending cache statistics into the aggregate. Returns the number of
+  /// names flushed. Call it when a thread parks, before a worker thread
+  /// exits (a dead thread's stash strands its names until reset()), or
+  /// before asserting exact names_live() figures at quiescence. No-op
+  /// when the cache is off or the stash is empty.
+  std::uint64_t flush_thread_cache();
+
+  /// O(S) full reset: epoch-bumps every shard arena, zeroes the live
+  /// counter, and invalidates every thread's stash (their contents are
+  /// discarded on the owning thread's next call — the epoch bump already
+  /// freed the cells). Not safe concurrently with acquire/release —
+  /// quiesce first.
   void reset();
 
+  /// Geometry accessors: fixed at construction, safe from any thread.
+  /// Every issued name is < capacity(); each shard is laid out for
+  /// shard_holders() concurrent holders.
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t num_shards() const { return shards_.size(); }
   [[nodiscard]] std::uint64_t shard_holders() const { return shard_n_; }
   [[nodiscard]] ArenaLayout arena_layout() const { return options_.arena_layout; }
   /// Approximate while calls are in flight, exact at quiescence (after
-  /// the workers have been joined or otherwise synchronized).
+  /// the workers have been joined or otherwise synchronized). Names
+  /// parked in thread stashes count as live — they are unavailable to
+  /// every other thread; flush_thread_cache() on each thread drains them.
   [[nodiscard]] std::uint64_t names_live() const {
     const std::int64_t live = live_.sum();
     return live > 0 ? static_cast<std::uint64_t>(live) : 0;
   }
+  /// Aggregate name-cache statistics, folded in window-at-a-time from the
+  /// per-thread stashes (so they lag by up to one adaptation window per
+  /// thread until flush_thread_cache()). Approximate while in flight.
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// The calling thread's stash occupancy / adaptive capacity for this
+  /// service (introspection and tests).
+  [[nodiscard]] std::uint32_t thread_cache_size() const;
+  [[nodiscard]] std::uint32_t thread_cache_capacity() const;
   /// The shard acquire() tries first on this thread before any migration
   /// (for tests).
   [[nodiscard]] std::uint64_t home_shard() const;
@@ -183,6 +237,26 @@ class RenamingService {
                               std::uint64_t from, std::uint64_t to,
                               std::uint64_t k, sim::Name* out);
 
+  /// The shared (arena + counter) release path, bypassing the stash: the
+  /// try_release loop plus one add to `counter` (the caller's already-
+  /// resolved registered node, so chunked callers don't re-pay the
+  /// thread-local lookup per chunk). Both public release surfaces and the
+  /// stash spill/flush paths bottom out here.
+  std::uint64_t release_shared(const sim::Name* names, std::uint64_t count,
+                               RegisteredCounter::Node& counter);
+
+  /// Re-tags `st` against cache_gen_, discarding contents stranded by a
+  /// reset() (the epoch bump already freed those cells).
+  void cache_sync_gen(NameStash& st) const;
+  /// Hit/miss accounting; at each window roll-up folds the counts into
+  /// the aggregate and spills any excess above an adaptively shrunk
+  /// capacity.
+  void cache_note_acquire(NameStash& st, bool hit,
+                          RegisteredCounter::Node& counter);
+  /// Spills the `k` oldest stashed names through release_shared.
+  void cache_spill(NameStash& st, std::uint32_t k,
+                   RegisteredCounter::Node& counter);
+
   RenamingServiceOptions options_;
   /// Process-unique instance id. Per-thread caches (sticky shard hint,
   /// counter node) are keyed by this, never by `this`: a new service
@@ -200,6 +274,14 @@ class RenamingService {
   /// share an allocation, let alone a cache line.
   std::vector<std::unique_ptr<Shard>> shards_;
   RegisteredCounter live_;
+  /// Stash-invalidation generation: reset() bumps it, and a stash tagged
+  /// with an older value discards its contents on its owner's next call
+  /// (the epoch bump already freed those cells). Starts at 1 so a fresh
+  /// stash (gen 0) always re-tags before serving.
+  std::atomic<std::uint64_t> cache_gen_{1};
+  /// Aggregate cache statistics (cold: folded in one window at a time).
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 }  // namespace loren

@@ -2,10 +2,11 @@
 //
 // Both long-lived services (the fixed RenamingService and the
 // ElasticRenamingService) want the same per-thread machinery: a dense
-// thread slot for home-shard hashing, a cached per-thread generator, and a
+// thread slot for home-shard hashing, a cached per-thread generator, a
 // tiny per-(thread, service) state table keyed by a process-unique service
-// id. This header factors the parts that were private to service.cpp so
-// the elastic service doesn't re-implement them.
+// id, and — since the thread-local name cache — a per-(thread, service)
+// NameStash. This header factors the parts that were private to
+// service.cpp so the elastic service doesn't re-implement them.
 //
 // The per-service table is a small open-addressed map with one entry per
 // (thread, service) and no eviction — entries (and any registered nodes
@@ -23,6 +24,147 @@
 #include "platform/rng.h"
 
 namespace loren {
+
+/// NameStash: the per-(thread, service) free-name cache ("magazine").
+///
+/// A steady-state churn workload releases and re-acquires the same names
+/// per thread, yet every acquisition pays the probe schedule and every
+/// release an arena RMW. The stash short-circuits that loop: release
+/// pushes the name into a bounded thread-local LIFO (the name's cell stays
+/// *taken* in the shared arena and stays counted by the live counter —
+/// counter accounting is deferred until the stash interacts with the
+/// shared path), and a later acquire pops it back with zero probes, zero
+/// counter traffic, and no shared RMW. Misses fall through to the shared
+/// path; overflow spills through the service's shared release path.
+///
+/// Invalidation is generation-based: `gen()` records the service-side
+/// generation the contents were stashed under (the reset generation for
+/// the fixed service, the resize generation for the elastic one). The
+/// owning service compares it against its current generation on every
+/// operation and, on mismatch, discards (fixed: the cells were
+/// epoch-reset) or flushes (elastic: the names are still held in a
+/// retired group and must drain through the tag table) before serving.
+/// `expected_tag()` additionally pins the elastic stash to the live
+/// group's 3-bit tag so only live-generation names are ever stashed.
+///
+/// Adaptive sizing: every kAdaptWindow acquisitions the capacity doubles
+/// when the hit rate ran >= 3/4 (hot reuse: deepen the stash) and halves
+/// when it fell <= 1/4 (adversarial zero-reuse: stop hoarding names other
+/// threads may need), clamped to [kMinCapacity, kMaxCapacity]. The caller
+/// spills any excess above a shrunken capacity through its shared path.
+///
+/// Single-threaded by construction (it lives in a thread_local table);
+/// trivially copyable so PerServiceTable growth can relocate it.
+class NameStash {
+ public:
+  static constexpr std::uint32_t kMinCapacity = 4;
+  static constexpr std::uint32_t kMaxCapacity = 64;
+  static constexpr std::uint32_t kAdaptWindow = 128;
+
+  /// Window roll-up handed back by note_acquire: when `rolled`, the
+  /// just-completed window's counts are ready for the service to fold
+  /// into its (cold) aggregate statistics.
+  struct WindowStats {
+    std::uint32_t hits = 0;
+    std::uint32_t misses = 0;
+    bool rolled = false;
+  };
+
+  /// Sets the starting capacity (clamped into [kMin, kMax]); adaptation
+  /// moves it from there.
+  void configure(std::uint32_t capacity) {
+    capacity_ = capacity < kMinCapacity
+                    ? kMinCapacity
+                    : (capacity > kMaxCapacity ? kMaxCapacity : capacity);
+  }
+
+  [[nodiscard]] std::uint64_t gen() const { return gen_; }
+  void set_gen(std::uint64_t gen) { gen_ = gen; }
+  [[nodiscard]] std::uint32_t expected_tag() const { return expected_tag_; }
+  void set_expected_tag(std::uint32_t tag) { expected_tag_ = tag; }
+
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ >= capacity_; }
+  /// Entries above the current (possibly just shrunk) capacity; the owner
+  /// spills these through its shared release path.
+  [[nodiscard]] std::uint32_t excess() const {
+    return count_ > capacity_ ? count_ - capacity_ : 0;
+  }
+
+  /// LIFO pop — the most recently released name, whose cache lines are
+  /// the hottest. Precondition: !empty().
+  std::int64_t pop() { return names_[--count_]; }
+
+  /// Precondition: !full(). (The owner spills before pushing when full.)
+  void push(std::int64_t name) { names_[count_++] = name; }
+
+  /// Linear scan (<= kMaxCapacity entries): the same-thread double-release
+  /// detector — a name already stashed must not be stashed again.
+  [[nodiscard]] bool contains(std::int64_t name) const {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (names_[i] == name) return true;
+    }
+    return false;
+  }
+
+  /// Moves up to `k` of the *oldest* entries into `out` (spill policy:
+  /// keep the most recently released — hottest — half). Returns the count.
+  std::uint32_t take_oldest(std::int64_t* out, std::uint32_t k) {
+    const std::uint32_t n = k < count_ ? k : count_;
+    for (std::uint32_t i = 0; i < n; ++i) out[i] = names_[i];
+    for (std::uint32_t i = n; i < count_; ++i) names_[i - n] = names_[i];
+    count_ -= n;
+    return n;
+  }
+
+  /// Empties the stash without handing the names anywhere (fixed-service
+  /// reset invalidation: the cells were epoch-reset, nothing to release).
+  void clear() { count_ = 0; }
+
+  /// Records one acquisition outcome and, at each kAdaptWindow boundary,
+  /// adapts the capacity and returns the window's counts for aggregation.
+  WindowStats note_acquire(bool hit) {
+    window_ops_ += 1;
+    window_hits_ += hit ? 1u : 0u;
+    WindowStats stats;
+    if (window_ops_ >= kAdaptWindow) {
+      stats.hits = window_hits_;
+      stats.misses = window_ops_ - window_hits_;
+      stats.rolled = true;
+      if (window_hits_ * 4 >= window_ops_ * 3) {
+        capacity_ = capacity_ * 2 > kMaxCapacity ? kMaxCapacity : capacity_ * 2;
+      } else if (window_hits_ * 4 <= window_ops_) {
+        capacity_ = capacity_ / 2 < kMinCapacity ? kMinCapacity : capacity_ / 2;
+      }
+      window_ops_ = 0;
+      window_hits_ = 0;
+    }
+    return stats;
+  }
+
+  /// The in-flight (not yet rolled-up) window counts, exported when the
+  /// stash is flushed so aggregate statistics stay honest on short runs.
+  WindowStats take_partial_window() {
+    WindowStats stats;
+    stats.hits = window_hits_;
+    stats.misses = window_ops_ - window_hits_;
+    stats.rolled = window_ops_ != 0;
+    window_ops_ = 0;
+    window_hits_ = 0;
+    return stats;
+  }
+
+ private:
+  std::int64_t names_[kMaxCapacity] = {};
+  std::uint32_t count_ = 0;
+  std::uint32_t capacity_ = kMinCapacity;  // configure() overrides
+  std::uint32_t window_ops_ = 0;
+  std::uint32_t window_hits_ = 0;
+  std::uint64_t gen_ = 0;           // 0 = never tagged (services start at 1)
+  std::uint32_t expected_tag_ = 0;  // elastic only: the live group's tag
+};
 
 /// Process-unique service instance id; ids start at 1 so 0 can mean
 /// "empty" in the per-thread tables forever.

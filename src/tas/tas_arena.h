@@ -61,6 +61,9 @@ class TasArena {
  public:
   static constexpr std::size_t kCacheLine = loren::kCacheLine;
 
+  /// One allocation of `size` cells, all free, epoch 1. The constructed
+  /// arena is immediately usable from any thread; construction itself is
+  /// not concurrent with anything (standard object lifetime rules).
   explicit TasArena(std::uint64_t size, ArenaLayout layout = ArenaLayout::kPadded)
       : size_(size),
         layout_(layout),
@@ -75,12 +78,16 @@ class TasArena {
 
   /// Returns true iff this call won the TAS: flipped the cell from free
   /// (never won, won in a stale epoch, or released) to taken-in-this-epoch.
+  /// Safe from any thread, wait-free (one RMW), never blocks; at most one
+  /// caller per (cell, epoch) ever wins. Bounds-unchecked: i < size().
   bool test_and_set(std::uint64_t i) {
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
     return cell(i).exchange(e, std::memory_order_acq_rel) != e;
   }
 
   /// 1 iff the cell is taken in the current epoch (the seed's 0/1 view).
+  /// Safe from any thread; a plain acquire load (pairs with the release
+  /// half of the winning RMW, so a winner's prior writes are visible).
   [[nodiscard]] std::uint64_t read(std::uint64_t i) const {
     return cell(i).load(std::memory_order_acquire) ==
                    epoch_.load(std::memory_order_relaxed)
@@ -89,7 +96,9 @@ class TasArena {
   }
 
   /// Seed-compatible write of the 0/1 view: nonzero marks the cell taken
-  /// in the current epoch, zero frees it.
+  /// in the current epoch, zero frees it. Unconditional (no validation) —
+  /// the simulator/baseline surface; concurrent production code wants
+  /// test_and_set/try_release, whose outcomes are race-decided.
   void write(std::uint64_t i, std::uint64_t v) {
     cell(i).store(v != 0 ? epoch_.load(std::memory_order_relaxed) : 0,
                   std::memory_order_release);
@@ -98,7 +107,7 @@ class TasArena {
   /// Atomically frees cell `i`; returns true iff it was taken in the
   /// current epoch (i.e. the release was legitimate). Single RMW — no
   /// check-then-act window, so concurrent double releases cannot both
-  /// succeed.
+  /// succeed. Safe from any thread, wait-free, never blocks.
   bool try_release(std::uint64_t i) {
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
     return cell(i).exchange(0, std::memory_order_acq_rel) == e;
@@ -131,9 +140,11 @@ class TasArena {
   /// epoch); callers quiesce first.
   void reset() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
+  /// Current epoch (diagnostics; exact only at quiescence, like reset()).
   [[nodiscard]] std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_relaxed);
   }
+  /// Geometry accessors: fixed at construction, safe from any thread.
   [[nodiscard]] std::uint64_t size() const { return size_; }
   [[nodiscard]] ArenaLayout layout() const { return layout_; }
   /// Bytes of cell storage (excludes the alignment slack).

@@ -38,6 +38,10 @@ TEST(ElasticRegression, SweepWinsDoNotAccumulateIntoSpuriousGrow) {
   opts.max_holders = 4096;
   opts.auto_grow = true;
   opts.grow_miss_threshold = 4;
+  // Cache off: the repro needs every re-acquisition to walk the probe
+  // schedule into the sweep; with a stash the released name would be
+  // re-issued thread-locally and the sweep path never runs.
+  opts.name_cache = false;
   ElasticRenamingService svc(64, opts);
 
   // Fill every cell of the live group. Each acquisition succeeds (via
@@ -119,6 +123,10 @@ TEST(ElasticRegression, StaleReleaseFromRecycledTagIsRejected) {
   opts.min_holders = 64;
   opts.max_holders = 4096;
   opts.debug_release_guard = true;
+  // Cache off: the ABA setup needs the first release to actually free the
+  // cell (so gen 1 drains and tag 0 recycles); a stashed release would
+  // keep gen 1 alive and the recycle could never materialize.
+  opts.name_cache = false;
   ElasticRenamingService svc(64, opts);
 
   // A (buggy) client acquires, releases, and keeps a stale copy.
@@ -192,6 +200,8 @@ TEST(ElasticRegression, GuardedNamesStillRoundTrip) {
     const bool was_batch = std::find(batch, batch + got, n) != batch + got;
     if (!was_batch) EXPECT_TRUE(svc.release(n));
   }
+  // Stamped names ride through the stash too; flush for exact accounting.
+  svc.flush_thread_cache();
   EXPECT_EQ(svc.names_live(), 0u);
 }
 

@@ -47,7 +47,24 @@ TEST(RenamingService, ReleaseValidates) {
   EXPECT_FALSE(service.release(static_cast<sim::Name>(service.capacity())));
   EXPECT_TRUE(service.release(name));
   EXPECT_FALSE(service.release(name)) << "double release succeeded";
+  // The release parked the name in this thread's stash (still counted
+  // live); flushing drains it through the shared path.
+  EXPECT_EQ(service.names_live(), 1u);
+  EXPECT_EQ(service.flush_thread_cache(), 1u);
   EXPECT_EQ(service.names_live(), 0u);
+}
+
+TEST(RenamingService, ReleaseValidatesUncached) {
+  // Same contract with the name cache off: validation is the single RMW.
+  RenamingServiceOptions opts = sharded(2);
+  opts.name_cache = false;
+  RenamingService service(64, opts);
+  const sim::Name name = service.acquire();
+  ASSERT_GE(name, 0);
+  EXPECT_TRUE(service.release(name));
+  EXPECT_FALSE(service.release(name)) << "double release succeeded";
+  EXPECT_EQ(service.names_live(), 0u);
+  EXPECT_EQ(service.flush_thread_cache(), 0u) << "nothing to flush uncached";
 }
 
 TEST(RenamingService, EpochResetMakesStaleCellsWinnable) {
@@ -128,29 +145,37 @@ void churn_stress(std::uint64_t n, std::uint64_t shards, ArenaLayout layout,
         owner[name].store(-1);
         if (!service.release(name)) ++violations;
       }
+      // Drain this worker's stash so quiescent accounting is exact.
+      service.flush_thread_cache();
     });
   }
   for (auto& th : pool) th.join();
 
   EXPECT_EQ(violations.load(), 0u);
-  // Total concurrent holders stay under n (<= kMaxHeld per thread), so
-  // the namespace should never have been exhausted.
+  // Total concurrent holders stay under n (<= kMaxHeld per thread, plus
+  // a bounded per-thread stash), so the namespace should never have been
+  // exhausted.
   EXPECT_EQ(exhausted.load(), 0u);
   EXPECT_EQ(service.names_live(), 0u) << "live counter drifted";
 }
 
+// Namespace sizing: per-thread demand is kMaxHeld (48) held names plus a
+// stash of up to NameStash::kMaxCapacity (64) parked ones — 112 per
+// thread. What bounds exhaustion is capacity() = ~(1+eps)n, not n, so
+// with eps = 0.5 the n=768 runs give capacity >= 1152 >= 8 * 112 = 896
+// and the zero-exhaustion assertion is airtight.
 TEST(RenamingServiceStress, ChurnAcrossShardsPadded) {
-  churn_stress(/*n=*/512, /*shards=*/4, ArenaLayout::kPadded, /*threads=*/8,
+  churn_stress(/*n=*/768, /*shards=*/4, ArenaLayout::kPadded, /*threads=*/8,
                /*iters=*/20000);
 }
 
 TEST(RenamingServiceStress, ChurnAcrossShardsPacked) {
-  churn_stress(/*n=*/512, /*shards=*/8, ArenaLayout::kPacked, /*threads=*/8,
+  churn_stress(/*n=*/768, /*shards=*/8, ArenaLayout::kPacked, /*threads=*/8,
                /*iters=*/20000);
 }
 
 TEST(RenamingServiceStress, ChurnSingleShard) {
-  churn_stress(/*n=*/256, /*shards=*/1, ArenaLayout::kPadded, /*threads=*/4,
+  churn_stress(/*n=*/512, /*shards=*/1, ArenaLayout::kPadded, /*threads=*/4,
                /*iters=*/20000);
 }
 
@@ -211,9 +236,11 @@ TEST(RenamingService, AcquireManyFillsAndExhausts) {
   EXPECT_EQ(names.size(), capacity);
   EXPECT_EQ(service.acquire_many(1, batch.data()), 0u);
   EXPECT_EQ(service.names_live(), capacity);
-  // Batched release round-trip; double release frees nothing.
+  // Batched release round-trip; double release frees nothing (stashed
+  // entries are caught by the duplicate scan, spilled ones by the RMW).
   EXPECT_EQ(service.release_many(all.data(), all.size()), capacity);
   EXPECT_EQ(service.release_many(all.data(), all.size()), 0u);
+  service.flush_thread_cache();
   EXPECT_EQ(service.names_live(), 0u);
 }
 
@@ -226,13 +253,16 @@ TEST(RenamingService, AcquireManyMatchesSinglesSemantics) {
   std::set<sim::Name> unique(batch, batch + 16);
   EXPECT_EQ(unique.size(), 16u);
   EXPECT_EQ(batched.names_live(), 16u);
-  // Mixed-mode interop: singles release what a batch acquired.
+  // Mixed-mode interop: singles release what a batch acquired (the first
+  // 16 park in this thread's stash; the flush spills them).
   for (const sim::Name n : batch) EXPECT_TRUE(batched.release(n));
+  batched.flush_thread_cache();
   EXPECT_EQ(batched.names_live(), 0u);
   // And a batch releases what singles acquired.
   std::vector<sim::Name> singles;
   for (int i = 0; i < 16; ++i) singles.push_back(batched.acquire());
   EXPECT_EQ(batched.release_many(singles.data(), singles.size()), 16u);
+  batched.flush_thread_cache();
   EXPECT_EQ(batched.names_live(), 0u);
 }
 
@@ -307,6 +337,8 @@ void batch_churn_stress(std::uint64_t n, std::uint64_t shards,
           ++violations;
         }
       }
+      // Drain this worker's stash so quiescent accounting is exact.
+      service.flush_thread_cache();
     });
   }
   for (auto& th : pool) th.join();
@@ -320,12 +352,12 @@ void batch_churn_stress(std::uint64_t n, std::uint64_t shards,
 }
 
 TEST(RenamingServiceStress, BatchChurnAcrossShardsPadded) {
-  batch_churn_stress(/*n=*/512, /*shards=*/4, ArenaLayout::kPadded,
+  batch_churn_stress(/*n=*/768, /*shards=*/4, ArenaLayout::kPadded,
                      /*threads=*/8, /*iters=*/8000);
 }
 
 TEST(RenamingServiceStress, BatchChurnAcrossShardsPacked) {
-  batch_churn_stress(/*n=*/512, /*shards=*/8, ArenaLayout::kPacked,
+  batch_churn_stress(/*n=*/768, /*shards=*/8, ArenaLayout::kPacked,
                      /*threads=*/8, /*iters=*/8000);
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# check_links.sh — fail on broken intra-repo markdown links.
+#
+# Scans every tracked *.md file for inline links `[text](target)` and
+# checks that relative targets exist on disk (resolved against the linking
+# file's directory, with `#fragment` suffixes and `:line` anchors
+# stripped). External links (a scheme like https://) and pure in-page
+# fragments (#section) are skipped — this is a repo-consistency check, not
+# a crawler. CI runs it as the docs job; run it locally from anywhere in
+# the repo:
+#
+#   tools/check_links.sh
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+# Tracked markdown only, so build trees and scratch files don't count.
+if git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  mapfile -t files < <(git ls-files '*.md')
+else
+  mapfile -t files < <(find . -name '*.md' -not -path './build*/*' | sed 's|^\./||')
+fi
+
+broken=0
+checked=0
+for file in "${files[@]}"; do
+  dir="$(dirname "$file")"
+  # Inline links only: [text](target). Reference-style links are rare
+  # here and reported unmatched by grep exiting nonzero (harmless).
+  while IFS= read -r target; do
+    case "$target" in
+      *://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;             # in-page fragment
+      '') continue ;;
+    esac
+    path="${target%%#*}"     # strip fragment
+    path="${path%%\?*}"      # strip query (defensive)
+    case "$path" in
+      /*) resolved="$root$path" ;;
+      *) resolved="$dir/$path" ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $file -> $target"
+      broken=$((broken + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" 2>/dev/null | sed 's/^](//; s/)$//')
+done
+
+echo "checked $checked intra-repo links across ${#files[@]} markdown files; $broken broken"
+[ "$broken" -eq 0 ]
