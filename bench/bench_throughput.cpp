@@ -63,8 +63,10 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "elastic/elastic_service.h"
@@ -155,7 +157,16 @@ struct Result {
   std::string variant;
   unsigned threads;
   std::uint64_t ops = 0;  // acquire(+release) items completed
+  /// Mean of the per-worker measured seconds (each worker times exactly
+  /// its own measured region with steady_clock — the driver's
+  /// spawn/sleep/join overhead used to leak into the denominator and
+  /// drift it by up to 4% under scheduler jitter).
   double seconds = 0;
+  /// Spread of the per-worker measured seconds: when max - min is large
+  /// relative to the duration, the scheduler starved some workers and
+  /// the row's items_per_sec deserves suspicion.
+  double worker_seconds_min = 0;
+  double worker_seconds_max = 0;
   std::uint64_t failed_acquires = 0;
   double items_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
 };
@@ -163,6 +174,7 @@ struct Result {
 struct alignas(64) WorkerCount {
   std::uint64_t ops = 0;
   std::uint64_t failed = 0;
+  double seconds = 0;  // this worker's measured region, start to stop
 };
 
 void print_row(const Result& r);
@@ -653,6 +665,10 @@ void bench_burst_drain(const std::string& vname, R& renamer,
     Result res{p <= peak_index ? "burst-drain-up" : "burst-drain-down", vname,
                ramp[p]};
     res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    // The ramp's workers live across every phase; the phase window is the
+    // only meaningful timebase, so the spread degenerates to it.
+    res.worker_seconds_min = res.seconds;
+    res.worker_seconds_max = res.seconds;
     res.ops = total(ops) - ops0;
     res.failed_acquires = total(failed) - failed0;
     out.push_back(res);
@@ -663,7 +679,11 @@ void bench_burst_drain(const std::string& vname, R& renamer,
 }
 
 /// Runs `body(thread_index, stop, count)` on `threads` workers for
-/// `duration_ms`, then aggregates.
+/// `duration_ms`, then aggregates. Each worker times its own measured
+/// region (steady_clock immediately around the body, nothing else), so
+/// thread spawn/join and the driver's sleep jitter never inflate the
+/// denominator; the row reports the mean worker seconds plus the min/max
+/// spread so oversubscribed runs are legible as such.
 template <class Body>
 Result run_threads(std::string scenario, std::string variant, unsigned threads,
                    int duration_ms, Body&& body) {
@@ -671,21 +691,28 @@ Result run_threads(std::string scenario, std::string variant, unsigned threads,
   std::vector<WorkerCount> counts(threads);
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  const auto t0 = Clock::now();
   for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] { body(t, stop, counts[t]); });
+    pool.emplace_back([&, t] {
+      const auto w0 = Clock::now();
+      body(t, stop, counts[t]);
+      counts[t].seconds = std::chrono::duration<double>(Clock::now() - w0).count();
+    });
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
   stop.store(true, std::memory_order_relaxed);
   for (auto& th : pool) th.join();
-  const auto t1 = Clock::now();
 
   Result res{std::move(scenario), std::move(variant), threads};
-  res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  double sum_seconds = 0;
+  res.worker_seconds_min = counts.empty() ? 0 : counts[0].seconds;
   for (const auto& c : counts) {
     res.ops += c.ops;
     res.failed_acquires += c.failed;
+    sum_seconds += c.seconds;
+    if (c.seconds < res.worker_seconds_min) res.worker_seconds_min = c.seconds;
+    if (c.seconds > res.worker_seconds_max) res.worker_seconds_max = c.seconds;
   }
+  res.seconds = threads > 0 ? sum_seconds / threads : 0;
   return res;
 }
 
@@ -849,6 +876,36 @@ std::string cpu_model() {
   return model;
 }
 
+/// Physical core count: unique (physical id, core id) pairs from
+/// /proc/cpuinfo. Containers and non-Linux hosts often omit the fields
+/// (or the file); the logical count is the honest fallback — the JSON
+/// then simply cannot claim more physical cores than logical ones.
+unsigned physical_cores() {
+  const unsigned logical = std::max(1u, std::thread::hardware_concurrency());
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return logical;
+  char line[256];
+  int phys = -1;
+  int core = -1;
+  std::set<std::pair<int, int>> seen;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "physical id", 11) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) phys = std::atoi(colon + 1);
+    } else if (std::strncmp(line, "core id", 7) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) core = std::atoi(colon + 1);
+    } else if (line[0] == '\n') {  // end of one processor stanza
+      if (phys >= 0 && core >= 0) seen.insert({phys, core});
+      phys = core = -1;
+    }
+  }
+  if (phys >= 0 && core >= 0) seen.insert({phys, core});
+  std::fclose(f);
+  if (seen.empty()) return logical;
+  return static_cast<unsigned>(seen.size());
+}
+
 void write_json(const std::string& path, std::uint64_t n, double eps,
                 int duration_ms, const std::vector<unsigned>& thread_counts,
                 const std::vector<Result>& results,
@@ -860,13 +917,28 @@ void write_json(const std::string& path, std::uint64_t n, double eps,
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     std::exit(1);
   }
+  const unsigned logical = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned physical = physical_cores();
   std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
   std::fprintf(f, "  \"hw_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  // Bench rows where threads > logical_cores measure timeslicing, not
+  // parallel scaling; the per-thread-count oversubscribed flags below
+  // make that machine-readable so CI diffs don't read oversubscription
+  // artifacts as real scaling curves.
+  std::fprintf(f, "  \"logical_cores\": %u,\n", logical);
+  std::fprintf(f, "  \"physical_cores\": %u,\n", physical);
   std::fprintf(f, "  \"cpu_model\": \"%s\",\n", cpu_model().c_str());
   std::fprintf(f, "  \"thread_counts\": [");
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     std::fprintf(f, "%s%u", i > 0 ? ", " : "", thread_counts[i]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"thread_counts_meta\": [");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(f, "%s{\"threads\": %u, \"oversubscribed\": %s}",
+                 i > 0 ? ", " : "", thread_counts[i],
+                 thread_counts[i] > logical ? "true" : "false");
   }
   std::fprintf(f, "],\n");
   std::fprintf(f, "  \"n\": %llu,\n  \"epsilon\": %.3f,\n",
@@ -877,10 +949,13 @@ void write_json(const std::string& path, std::uint64_t n, double eps,
     const Result& r = results[i];
     std::fprintf(f,
                  "    {\"scenario\": \"%s\", \"variant\": \"%s\", \"threads\": "
-                 "%u, \"ops\": %llu, \"seconds\": %.4f, \"items_per_sec\": %s, "
+                 "%u, \"ops\": %llu, \"seconds\": %.4f, "
+                 "\"worker_seconds_min\": %.4f, \"worker_seconds_max\": %.4f, "
+                 "\"items_per_sec\": %s, "
                  "\"failed_acquires\": %llu}%s\n",
                  r.scenario.c_str(), r.variant.c_str(), r.threads,
                  static_cast<unsigned long long>(r.ops), r.seconds,
+                 r.worker_seconds_min, r.worker_seconds_max,
                  fmt1(r.items_per_sec()).c_str(),
                  static_cast<unsigned long long>(r.failed_acquires),
                  i + 1 < results.size() ? "," : "");
@@ -976,6 +1051,71 @@ int main(int argc, char** argv) {
                 [&] { return make_service(1, ArenaLayout::kPadded); },
                 thread_counts, duration_ms, n, results);
 
+  // ---- cell-probe vs word-scan: the BitmapArena substrate ---------------
+  // The same sharded service on the two arena kinds, name cache off on
+  // both sides: churn workloads otherwise short-circuit into the stash
+  // and the ratio would measure thread-local pops, not the substrate.
+  // These rows feed the word_scan_* derived keys.
+  auto make_service_kind = [n, eps](loren::ArenaKind kind) {
+    loren::RenamingServiceOptions opts;
+    opts.epsilon = eps;
+    opts.shards = 0;
+    opts.arena_kind = kind;
+    opts.name_cache = false;
+    return std::make_unique<loren::RenamingService>(n, opts);
+  };
+  bench_variant(
+      "service-cellprobe",
+      [&] { return make_service_kind(loren::ArenaKind::kCellProbe); },
+      thread_counts, duration_ms, n, results);
+  bench_variant("service-wordscan",
+                [&] { return make_service_kind(loren::ArenaKind::kBitmap); },
+                thread_counts, duration_ms, n, results);
+  // full-churn-hot: the same churn loop against a namespace at a
+  // *scattered* 15/16 occupancy — fill every cell, then release a random
+  // 1/16 sample, so the free cells are spread over every shard and every
+  // word. This is the regime where probes collide and the per-cell RMW /
+  // per-cell sweep cost dominates: a near-empty namespace serves the
+  // first probe either way (plain full-churn measures fixed per-op
+  // overhead, not the substrate), and a *run-claimed* prefill would
+  // leave one empty shard for the sticky hints to migrate into. This
+  // pair feeds the word_scan_speedup_at_4_threads derived key.
+  {
+    std::vector<std::int64_t> prefill;
+    auto run_hot = [&](const std::string& vname, loren::ArenaKind kind,
+                       unsigned threads) {
+      auto r = make_service_kind(kind);
+      const std::uint64_t cap = r->capacity();
+      prefill.assign(cap, -1);
+      const std::uint64_t held = r->acquire_many(cap, prefill.data());
+      if (held < cap) {
+        std::fprintf(stderr, "full-churn-hot prefill shortfall: %llu < %llu\n",
+                     static_cast<unsigned long long>(held),
+                     static_cast<unsigned long long>(cap));
+      }
+      // Partial Fisher-Yates: move a uniform random 1/16 sample to the
+      // front, release exactly that sample.
+      loren::Xoshiro256 rng(loren::mix_seed(0xF1F1, threads));
+      const std::uint64_t free_target = std::max<std::uint64_t>(held / 16, 1);
+      for (std::uint64_t i = 0; i < free_target; ++i) {
+        std::swap(prefill[i], prefill[i + rng.below(held - i)]);
+      }
+      r->release_many(prefill.data(), free_target);
+      results.push_back(run_threads(
+          "full-churn-hot", vname, threads, duration_ms,
+          [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+            churn_loop(*r, stop, c);
+          }));
+      print_row(results.back());
+    };
+    for (unsigned threads : thread_counts) {
+      run_hot("service-cellprobe", loren::ArenaKind::kCellProbe, threads);
+    }
+    for (unsigned threads : thread_counts) {
+      run_hot("service-wordscan", loren::ArenaKind::kBitmap, threads);
+    }
+  }
+
   // ---- batch workload engine: batch-churn / poisson-arrivals /
   // thread-churn for the variants with a batched surface ------------------
   bench_batch_scenarios(
@@ -995,6 +1135,16 @@ int main(int argc, char** argv) {
         eopts.max_holders = n;
         return std::make_unique<loren::ElasticRenamingService>(start, eopts);
       },
+      thread_counts, duration_ms, n, results);
+  // The substrate pair again under the batch engine: run-claims are where
+  // the word-packed masks collapse k RMWs into one fetch_or per word.
+  bench_batch_scenarios(
+      "service-cellprobe",
+      [&] { return make_service_kind(loren::ArenaKind::kCellProbe); },
+      thread_counts, duration_ms, n, results);
+  bench_batch_scenarios(
+      "service-wordscan",
+      [&] { return make_service_kind(loren::ArenaKind::kBitmap); },
       thread_counts, duration_ms, n, results);
 
   // ---- cached churn: the thread-local name cache on / off --------------
@@ -1120,6 +1270,25 @@ int main(int argc, char** argv) {
                 4) /
               singles);
     }
+  }
+  // Word-scan acquisition vs cell-probe on the identical (uncached)
+  // sharded service: the high-occupancy full-churn pair (acceptance:
+  // >= 1.3x at 4 threads — at 15/16 occupancy the cell substrate pays
+  // ~1/free-fraction probe RMWs per win while a word scan covers 64
+  // cells per probe), plus the k16 batch engine, where mask assembly
+  // collapses a run claim into one fetch_or per word.
+  const double cell_churn_hot = items("full-churn-hot", "service-cellprobe", 4);
+  if (cell_churn_hot > 0) {
+    derived.emplace_back(
+        "word_scan_speedup_at_4_threads",
+        items("full-churn-hot", "service-wordscan", 4) / cell_churn_hot);
+  }
+  const double cell_batch16 =
+      items("batch-churn", "service-cellprobe-many-k16", 4);
+  if (cell_batch16 > 0) {
+    derived.emplace_back(
+        "word_scan_batch_speedup_k16_at_4_threads",
+        items("batch-churn", "service-wordscan-many-k16", 4) / cell_batch16);
   }
   // The thread-local name cache: hot-reuse churn with the stash vs the
   // identically configured uncached service (acceptance: >= 1.3x at 4

@@ -73,6 +73,10 @@ struct ElasticOptions {
   /// many).
   std::uint64_t shards = 0;
   ArenaLayout arena_layout = ArenaLayout::kPadded;
+  /// Substrate for every generation's arena: kCellProbe (TasArena, one
+  /// RMW per cell probed) or kBitmap (BitmapArena, 64 cells per probe
+  /// via word scans — see tas/bitmap_arena.h for the tradeoff).
+  ArenaKind arena_kind = ArenaKind::kCellProbe;
   std::uint64_t seed = 0xE1A5;
   BatchLayoutParams layout_extra{};
   /// Grow automatically under sustained probe-schedule misses (and always

@@ -8,7 +8,7 @@ namespace loren {
 
 ShardGroup::ShardGroup(std::uint32_t tag, std::uint64_t generation,
                        std::uint64_t holders, std::uint64_t shards,
-                       ArenaLayout arena_layout,
+                       ArenaLayout arena_layout, ArenaKind arena_kind,
                        std::shared_ptr<const CachedSchedule> schedule)
     : tag_(tag),
       generation_(generation),
@@ -16,15 +16,24 @@ ShardGroup::ShardGroup(std::uint32_t tag, std::uint64_t generation,
       shard_stride_(schedule->layout.total()),
       shard_mask_(shards - 1),
       shard_shift_(0),
-      schedule_(std::move(schedule)),
-      arena_(shard_stride_ * shards, arena_layout) {
+      schedule_(std::move(schedule)) {
   if (shards == 0 || (shards & (shards - 1)) != 0) {
     throw std::invalid_argument("ShardGroup: shards must be a power of two");
   }
   for (std::uint64_t s = shards; s > 1; s >>= 1) ++shard_shift_;
+  const std::uint64_t total = shard_stride_ * shards;
+  if (arena_kind == ArenaKind::kBitmap) {
+    bitmap_ = std::make_unique<BitmapArena>(total, arena_layout);
+  } else {
+    arena_ = std::make_unique<TasArena>(total, arena_layout);
+  }
   segments_.reserve(shards);
   for (std::uint64_t i = 0; i < shards; ++i) {
-    segments_.emplace_back(arena_, i * shard_stride_, shard_stride_);
+    if (bitmap_ != nullptr) {
+      segments_.emplace_back(*bitmap_, i * shard_stride_, shard_stride_);
+    } else {
+      segments_.emplace_back(*arena_, i * shard_stride_, shard_stride_);
+    }
   }
 }
 
@@ -32,6 +41,23 @@ std::int64_t ShardGroup::probe_segment(std::uint64_t si, Xoshiro256& rng,
                                        bool* late) {
   ArenaSegment& seg = segments_[si];
   const FlatProbeSchedule::Slot* const first = schedule_->schedule.begin();
+  if (seg.kind() == ArenaKind::kBitmap) {
+    // Word-granular probe schedule: each slot's random draw nominates a
+    // word, and the 64-way scan claims any free cell in it (clamped to
+    // this shard's window). A probe fails only when its whole word is
+    // full, so a word-scan schedule walk covers up to 64x the cells of a
+    // cell-probe walk at the same probe budget.
+    for (const auto* slot = first; slot != schedule_->schedule.end(); ++slot) {
+      const std::uint64_t x = slot->offset + rng.below(slot->size);
+      const std::int64_t cell = seg.try_claim_word(x);
+      if (cell >= 0) {
+        *late = (slot - first) >= kMigrateThreshold;
+        return static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(cell) << shard_shift_) | si);
+      }
+    }
+    return -1;
+  }
   for (const auto* slot = first; slot != schedule_->schedule.end(); ++slot) {
     const std::uint64_t x = slot->offset + rng.below(slot->size);
     if (seg.test_and_set(x)) {
@@ -64,12 +90,14 @@ std::int64_t ShardGroup::sweep_acquire(std::uint32_t* sticky) {
   const std::uint64_t S = shard_mask_ + 1;
   for (std::uint64_t k = 0; k < S; ++k) {
     const std::uint64_t si = (*sticky + k) & shard_mask_;
-    ArenaSegment& seg = segments_[si];
-    for (std::uint64_t u = 0; u < shard_stride_; ++u) {
-      if (seg.test_and_set(u)) {
-        *sticky = static_cast<std::uint32_t>(si);
-        return static_cast<std::int64_t>((u << shard_shift_) | si);
-      }
+    // One-cell run-claim: word-at-a-time snapshots on a bitmap segment
+    // (64 cells per load), line-at-a-time load-before-RMW on a cell
+    // arena — either way the backstop fails only when the shard really
+    // had zero free cells when scanned.
+    std::uint64_t cell = 0;
+    if (segments_[si].try_claim_run(0, shard_stride_, 1, &cell) == 1) {
+      *sticky = static_cast<std::uint32_t>(si);
+      return static_cast<std::int64_t>((cell << shard_shift_) | si);
     }
   }
   return -1;

@@ -3,10 +3,11 @@
 // A shard group is the unit the ElasticRenamingService publishes, retires,
 // and reclaims: a fixed probe geometry (BatchLayout for n_g/S holders per
 // shard, flattened once and shared via ScheduleCache) over a *single*
-// TasArena carved into S cache-line-padded shard segments. One allocation
-// per group — not one per shard — so the epoch-based resize protocol
-// frees a retired generation with one deallocation, and a group's whole
-// footprint appears/disappears atomically from the service's accounting.
+// arena — a cell-probe TasArena or a word-packed BitmapArena, chosen by
+// ArenaKind — carved into S shard segments. One allocation per group —
+// not one per shard — so the epoch-based resize protocol frees a retired
+// generation with one deallocation, and a group's whole footprint
+// appears/disappears atomically from the service's accounting.
 //
 // Within a group the probing discipline is the RenamingService one
 // (service.h): sticky shard, ring migration on late wins, ring stealing
@@ -39,8 +40,13 @@ class ShardGroup {
  public:
   /// `shards` must be a power of two; `schedule` is the plan for this
   /// group's per-shard holder count (schedule->layout.n() == holders/S).
+  /// `arena_kind` picks the substrate: one cell-probe TasArena or one
+  /// word-packed BitmapArena, either way a single allocation carved into
+  /// shard segments (the segments dispatch, so the probing discipline
+  /// below is substrate-agnostic except for the word-granular probes).
   ShardGroup(std::uint32_t tag, std::uint64_t generation, std::uint64_t holders,
              std::uint64_t shards, ArenaLayout arena_layout,
+             ArenaKind arena_kind,
              std::shared_ptr<const CachedSchedule> schedule);
 
   /// Walk the shard ring starting at *sticky (updated in place: migrate on
@@ -110,7 +116,11 @@ class ShardGroup {
     return shard_stride_ << shard_shift_;
   }
   [[nodiscard]] std::uint64_t footprint_bytes() const {
-    return arena_.footprint_bytes();
+    return bitmap_ != nullptr ? bitmap_->footprint_bytes()
+                              : arena_->footprint_bytes();
+  }
+  [[nodiscard]] ArenaKind arena_kind() const {
+    return bitmap_ != nullptr ? ArenaKind::kBitmap : ArenaKind::kCellProbe;
   }
   [[nodiscard]] const BatchLayout& shard_layout() const {
     return schedule_->layout;
@@ -136,7 +146,11 @@ class ShardGroup {
   std::uint64_t shard_mask_;    // shards - 1 (power of two)
   std::uint32_t shard_shift_;   // log2(shards)
   std::shared_ptr<const CachedSchedule> schedule_;
-  TasArena arena_;  // one allocation: shards * stride cells
+  /// Exactly one substrate is engaged (by arena_kind at construction);
+  /// either way one allocation of shards * stride cells that the
+  /// segments window into.
+  std::unique_ptr<TasArena> arena_;
+  std::unique_ptr<BitmapArena> bitmap_;
   std::vector<ArenaSegment> segments_;
   StripedCounter live_;
   std::atomic<bool> retired_{false};

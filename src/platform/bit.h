@@ -1,0 +1,84 @@
+// Bit-scan primitives for the word-packed substrates.
+//
+// The bitmap arena's hot path is find-first-zero over a 64-bit free mask
+// (countr_zero) plus occupancy counts (popcount). C++20's <bit> provides
+// both, and on -march=native builds (the LOREN_NATIVE cmake option) they
+// compile to single tzcnt/popcnt instructions — but older standard
+// libraries ship C++20 mode without the <bit> ops, so this header keeps
+// the scan code standard: std::countr_zero/std::popcount when the
+// feature-test macro says they exist, compiler builtins otherwise, and a
+// portable loop as the last resort. Everything here is constexpr and
+// branch-predictable; no caller pays for the fallback ladder at runtime.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__has_include)
+#if __has_include(<bit>)
+#include <bit>
+#endif
+#endif
+
+namespace loren {
+
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+
+/// Index of the lowest set bit; 64 when v == 0.
+constexpr int countr_zero_u64(std::uint64_t v) { return std::countr_zero(v); }
+/// Number of set bits.
+constexpr int popcount_u64(std::uint64_t v) { return std::popcount(v); }
+
+#elif defined(__GNUC__) || defined(__clang__)
+
+constexpr int countr_zero_u64(std::uint64_t v) {
+  return v == 0 ? 64 : __builtin_ctzll(v);
+}
+constexpr int popcount_u64(std::uint64_t v) { return __builtin_popcountll(v); }
+
+#else
+
+constexpr int countr_zero_u64(std::uint64_t v) {
+  if (v == 0) return 64;
+  int n = 0;
+  while ((v & 1u) == 0) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+constexpr int popcount_u64(std::uint64_t v) {
+  int n = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++n;
+  }
+  return n;
+}
+
+#endif
+
+/// The mask with bits [lo, hi) set (0 <= lo <= hi <= 64). hi == 64 must
+/// not shift by 64 (UB), hence the split.
+constexpr std::uint64_t bit_range_mask(unsigned lo, unsigned hi) {
+  const std::uint64_t upto_hi =
+      hi >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << hi) - 1);
+  const std::uint64_t below_lo =
+      lo >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lo) - 1);
+  return upto_hi & ~below_lo;
+}
+
+/// The lowest `k` set bits of `mask` (k >= popcount keeps them all).
+/// The run-claim path uses this to assemble a single fetch_or operand
+/// that claims a whole sub-batch of cells in one RMW.
+constexpr std::uint64_t lowest_n_bits(std::uint64_t mask, unsigned k) {
+  std::uint64_t keep = 0;
+  for (unsigned i = 0; i < k && mask != 0; ++i) {
+    const std::uint64_t low = mask & (~mask + 1);  // lowest set bit
+    keep |= low;
+    mask ^= low;
+  }
+  return keep;
+}
+
+}  // namespace loren

@@ -10,7 +10,11 @@
 // if the schedule phase leaves a shortfall, a deterministic sweep of
 // every shard backstops, so returning < k means the namespace really had
 // fewer than k free cells when scanned. This header keeps exactly one
-// copy of that walk; the substrates plug in via two callables.
+// copy of that walk; the substrates plug in via two callables. On a
+// bitmap substrate (ArenaKind::kBitmap) the plugged-in claim callable
+// bottoms out in BitmapArena::try_claim_run, so a k-cell run is claimed
+// via assembled bit masks — one fetch_or per word — rather than k
+// per-cell RMWs; the walk itself is identical either way.
 //
 // The walk origin is captured before the loop: the sticky hint is
 // updated *during* the walk (migrate on late wins, move to the serving

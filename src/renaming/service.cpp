@@ -134,7 +134,8 @@ RenamingService::RenamingService(std::uint64_t n,
   shards_.reserve(shards);
   for (std::uint64_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(shard_n_, options_.layout_extra,
-                                              options_.arena_layout));
+                                              options_.arena_layout,
+                                              options_.arena_kind));
   }
   shard_stride_ = shards_[0]->layout.total();
   capacity_ = shard_stride_ << shard_shift_;
@@ -143,9 +144,24 @@ RenamingService::RenamingService(std::uint64_t n,
 Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
                                   Xoshiro256& rng, bool& late) {
   const FlatProbeSchedule::Slot* const first = shard.schedule.begin();
+  if (shard.seg.kind() == ArenaKind::kBitmap) {
+    // Word-granular probes: the slot's random draw nominates a word and
+    // the 64-way scan claims any free cell in it, so a probe fails only
+    // when its whole word is full (see tas/bitmap_arena.h).
+    for (const auto* slot = first; slot != shard.schedule.end(); ++slot) {
+      const std::uint64_t x = slot->offset + rng.below(slot->size);
+      const std::int64_t cell = shard.seg.try_claim_word(x);
+      if (cell >= 0) {
+        late = (slot - first) >= kMigrateThreshold;
+        return static_cast<Name>(
+            (static_cast<std::uint64_t>(cell) << shard_shift_) | shard_index);
+      }
+    }
+    return -1;
+  }
   for (const auto* slot = first; slot != shard.schedule.end(); ++slot) {
     const std::uint64_t x = slot->offset + rng.below(slot->size);
-    if (shard.arena.test_and_set(x)) {
+    if (shard.seg.test_and_set(x)) {
       late = (slot - first) >= kMigrateThreshold;
       // Interleaved encoding: local * S + shard, so decode is shift/mask.
       return static_cast<Name>((x << shard_shift_) | shard_index);
@@ -216,17 +232,17 @@ Name RenamingService::acquire() {
     }
   }
   // Every schedule missed (probability 1/n^(beta-o(1)) per shard unless
-  // the namespace really is near-exhausted): deterministic sweep, so
-  // acquire() fails only when zero cells are free.
+  // the namespace really is near-exhausted): deterministic sweep — a
+  // one-cell run-claim per shard, word-at-a-time on a bitmap substrate
+  // (64 cells per snapshot) — so acquire() fails only when zero cells
+  // are free.
   for (std::uint64_t k = 0; k < S; ++k) {
     const std::uint64_t si = (per.shard + k) & shard_mask_;
-    Shard& shard = *shards_[si];
-    for (std::uint64_t u = 0; u < shard_stride_; ++u) {
-      if (shard.arena.test_and_set(u)) {
-        per.shard = static_cast<std::uint32_t>(si);
-        RegisteredCounter::add(*per.counter, 1);
-        return static_cast<Name>((u << shard_shift_) | si);
-      }
+    std::uint64_t u = 0;
+    if (shards_[si]->seg.try_claim_run(0, shard_stride_, 1, &u) == 1) {
+      per.shard = static_cast<std::uint32_t>(si);
+      RegisteredCounter::add(*per.counter, 1);
+      return static_cast<Name>((u << shard_shift_) | si);
     }
   }
   return -1;
@@ -239,7 +255,7 @@ std::uint64_t RenamingService::claim_encoded(Shard& shard,
                                              Name* out) {
   return claim_encode_inplace(
       [&](std::uint64_t* raw) {
-        return shard.arena.try_claim_run(from, to, k, raw);
+        return shard.seg.try_claim_run(from, to, k, raw);
       },
       shard_shift_, shard_index, out);
 }
@@ -291,7 +307,7 @@ std::uint64_t RenamingService::release_shared(const Name* names,
     if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) continue;
     const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
     const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
-    if (shards_[si]->arena.try_release(local)) ++freed;
+    if (shards_[si]->seg.try_release(local)) ++freed;
   }
   if (freed > 0) {
     RegisteredCounter::add(counter, -static_cast<std::int64_t>(freed));
@@ -322,7 +338,7 @@ std::uint64_t RenamingService::release_many(const Name* names,
       const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
       const std::uint64_t local =
           static_cast<std::uint64_t>(name) >> shard_shift_;
-      if (shards_[si]->arena.read(local) != 1) continue;  // not held
+      if (shards_[si]->seg.read(local) != 1) continue;  // not held
       st.push(name);
       ++freed;
       continue;
@@ -353,7 +369,7 @@ bool RenamingService::release(Name name) {
     // acquisition. Contract-violating races (two threads releasing one
     // held name) are undetectable without the RMW — see release()'s
     // contract in service.h.
-    if (shards_[si]->arena.read(local) != 1) return false;
+    if (shards_[si]->seg.read(local) != 1) return false;
     if (st.full()) {
       if (per.counter == nullptr) per.counter = &live_.register_thread();
       cache_spill(st, st.capacity() / 2 + 1, *per.counter);
@@ -361,7 +377,7 @@ bool RenamingService::release(Name name) {
     st.push(name);
     return true;
   }
-  if (!shards_[si]->arena.try_release(local)) return false;
+  if (!shards_[si]->seg.try_release(local)) return false;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
   if (per.counter == nullptr) per.counter = &live_.register_thread();
@@ -401,7 +417,7 @@ std::uint32_t RenamingService::thread_cache_capacity() const {
 }
 
 void RenamingService::reset() {
-  for (auto& shard : shards_) shard->arena.reset();
+  for (auto& shard : shards_) shard->reset();
   live_.reset();
   // Invalidate every thread's stash: contents are discarded (not spilled)
   // on the owning thread's next call, because the epoch bumps above

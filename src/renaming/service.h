@@ -55,6 +55,8 @@
 #include "renaming/probe_schedule.h"
 #include "renaming/thread_ctx.h"
 #include "sim/env.h"
+#include "tas/arena_segment.h"
+#include "tas/bitmap_arena.h"
 #include "tas/tas_arena.h"
 
 namespace loren {
@@ -94,6 +96,10 @@ struct RenamingServiceOptions {
   /// shard still serves >= 64 holders.
   std::uint64_t shards = 0;
   ArenaLayout arena_layout = ArenaLayout::kPadded;
+  /// Substrate for the shard arenas: kCellProbe (TasArena, one RMW per
+  /// cell probed) or kBitmap (BitmapArena, 64 cells per probe via word
+  /// scans — see tas/bitmap_arena.h for the tradeoff).
+  ArenaKind arena_kind = ArenaKind::kCellProbe;
   std::uint64_t seed = 0x53ED;
   BatchLayoutParams layout_extra{};
   /// Thread-local name cache: each thread keeps a bounded stash of names
@@ -182,6 +188,7 @@ class RenamingService {
   [[nodiscard]] std::uint64_t num_shards() const { return shards_.size(); }
   [[nodiscard]] std::uint64_t shard_holders() const { return shard_n_; }
   [[nodiscard]] ArenaLayout arena_layout() const { return options_.arena_layout; }
+  [[nodiscard]] ArenaKind arena_kind() const { return options_.arena_kind; }
   /// Approximate while calls are in flight, exact at quiescence (after
   /// the workers have been joined or otherwise synchronized). Names
   /// parked in thread stashes count as live — they are unavailable to
@@ -210,14 +217,32 @@ class RenamingService {
  private:
   struct Shard {
     Shard(std::uint64_t holders, const BatchLayoutParams& params,
-          ArenaLayout arena_layout)
-        : layout(holders, params),
-          schedule(layout),
-          arena(layout.total(), arena_layout) {}
+          ArenaLayout arena_layout, ArenaKind arena_kind)
+        : layout(holders, params), schedule(layout) {
+      if (arena_kind == ArenaKind::kBitmap) {
+        bitmap = std::make_unique<BitmapArena>(layout.total(), arena_layout);
+        seg = ArenaSegment(*bitmap, 0, layout.total());
+      } else {
+        arena = std::make_unique<TasArena>(layout.total(), arena_layout);
+        seg = ArenaSegment(*arena, 0, layout.total());
+      }
+    }
+
+    void reset() {
+      if (bitmap != nullptr) {
+        bitmap->reset();
+      } else {
+        arena->reset();
+      }
+    }
 
     BatchLayout layout;
     FlatProbeSchedule schedule;
-    TasArena arena;
+    /// Exactly one substrate is engaged (by options.arena_kind); all
+    /// probe/claim/release traffic goes through `seg`, which dispatches.
+    std::unique_ptr<TasArena> arena;
+    std::unique_ptr<BitmapArena> bitmap;
+    ArenaSegment seg;
   };
 
   /// Wins arriving at or past this probe position mean the shard is
@@ -269,9 +294,12 @@ class RenamingService {
   std::uint64_t shard_mask_ = 0;    // num_shards - 1 (power of two)
   std::uint32_t shard_shift_ = 0;   // log2(num_shards)
   std::uint64_t capacity_ = 0;
-  /// unique_ptr per shard: Shard owns a TasArena (non-movable storage) and
-  /// each arena's cell block is independently allocated, so shards never
-  /// share an allocation, let alone a cache line.
+  /// unique_ptr per shard: Shard owns its arena (a TasArena or a
+  /// BitmapArena per options_.arena_kind; non-movable storage either
+  /// way) and each arena's cell block is independently allocated, so
+  /// shards never share an allocation — and, on the padded cell-probe
+  /// substrate, never a cache line (bitmap shards pack 64+ cells per
+  /// line by design; see tas/bitmap_arena.h for that tradeoff).
   std::vector<std::unique_ptr<Shard>> shards_;
   RegisteredCounter live_;
   /// Stash-invalidation generation: reset() bumps it, and a stash tagged

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_throughput.json against the committed baseline.
+
+Promotes the former inline CI snippet into a real tool: per-cell ratios
+keyed by (scenario, variant, threads), per-scenario regression
+thresholds (noisy scenario families tolerate more), a human-readable
+table of every flagged cell, and a summary of cells that exist on only
+one side (so silently dropped coverage is visible, not just slowdowns).
+
+Oversubscribed cells (threads flagged oversubscribed in *either* run's
+thread_counts_meta) measure timeslicing on that machine, not scaling;
+they are compared with the loosest threshold and labelled in the table.
+
+Usage:
+    tools/bench_diff.py BASELINE FRESH [--threshold R] [--quiet]
+
+Exit codes (documented in docs/benchmarks.md):
+    0  no cell regressed past its threshold
+    1  at least one cell regressed past its threshold
+    2  usage error, unreadable file, or malformed JSON
+
+CI runs this warn-only (continue-on-error): shared runners are noisy and
+the committed baseline was produced elsewhere, so exit 1 is a prompt to
+re-measure locally, never a red build on its own.
+"""
+
+import argparse
+import json
+import sys
+
+# Default fraction of baseline a cell may drop to before it is flagged.
+DEFAULT_THRESHOLD = 0.70
+
+# Scenario families with inherently noisier cells get looser thresholds:
+# burst-drain phases are sub-second windows over a moving thread ramp,
+# thread-churn includes thread spawn/teardown in every measurement, and
+# full-churn-hot runs at 15/16 occupancy where a handful of probe-path
+# collisions swings short runs.
+SCENARIO_THRESHOLDS = {
+    "burst-drain-up": 0.50,
+    "burst-drain-down": 0.50,
+    "thread-churn": 0.55,
+    "full-churn-hot": 0.60,
+}
+
+OVERSUBSCRIBED_THRESHOLD = 0.50
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"bench_diff: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def key(row):
+    return (row["scenario"], row["variant"], row["threads"])
+
+
+def fmt_key(k):
+    scenario, variant, threads = k
+    return f"{scenario}/{variant}@{threads}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_throughput.json files cell by cell.")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="default ratio below which a cell is flagged "
+             f"(default {DEFAULT_THRESHOLD}; per-scenario overrides apply)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the table; summary + exit code only")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    for name, data in (("baseline", base), ("fresh", fresh)):
+        if "results" not in data:
+            print(f"bench_diff: {name} has no 'results' array",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    # A thread count oversubscribed on EITHER machine makes the cell a
+    # timeslicing measurement on that side, so the comparison is loose if
+    # either run's meta flags it (baseline from an 8-core workstation vs
+    # a 2-core CI runner must not read the runner's 4-thread cell as a
+    # strict-threshold regression).
+    oversubscribed = {
+        m["threads"]
+        for data in (base, fresh)
+        for m in data.get("thread_counts_meta", [])
+        if m.get("oversubscribed")
+    }
+
+    baseline = {key(r): r for r in base["results"]}
+    fresh_rows = {key(r): r for r in fresh["results"]}
+
+    flagged = []
+    compared = 0
+    for k, row in fresh_rows.items():
+        b = baseline.get(k)
+        if b is None or b["items_per_sec"] <= 0:
+            continue
+        compared += 1
+        ratio = row["items_per_sec"] / b["items_per_sec"]
+        threshold = SCENARIO_THRESHOLDS.get(k[0], args.threshold)
+        note = ""
+        if k[2] in oversubscribed:
+            threshold = min(threshold, OVERSUBSCRIBED_THRESHOLD)
+            note = "oversubscribed"
+        if ratio < threshold:
+            flagged.append((ratio, threshold, k, b["items_per_sec"],
+                            row["items_per_sec"], note))
+
+    only_base = sorted(set(baseline) - set(fresh_rows))
+    only_fresh = sorted(set(fresh_rows) - set(baseline))
+
+    if flagged and not args.quiet:
+        flagged.sort()
+        wid = max(len(fmt_key(k)) for _, _, k, _, _, _ in flagged)
+        print(f"{'cell':<{wid}}  {'ratio':>6}  {'limit':>6}  "
+              f"{'baseline':>12}  {'fresh':>12}  note")
+        for ratio, threshold, k, b_ips, f_ips, note in flagged:
+            print(f"{fmt_key(k):<{wid}}  {ratio:>6.2f}  {threshold:>6.2f}  "
+                  f"{b_ips:>12.0f}  {f_ips:>12.0f}  {note}")
+        print()
+
+    cpu = base.get("cpu_model", "unknown cpu")
+    print(f"bench_diff: compared {compared} cells against baseline "
+          f"({cpu}); {len(flagged)} regressed past threshold")
+    if only_base:
+        print(f"bench_diff: {len(only_base)} baseline cells absent from "
+              f"fresh run (first: {fmt_key(only_base[0])})")
+    if only_fresh:
+        print(f"bench_diff: {len(only_fresh)} fresh cells not in baseline "
+              f"(first: {fmt_key(only_fresh[0])})")
+    sys.exit(1 if flagged else 0)
+
+
+if __name__ == "__main__":
+    main()
