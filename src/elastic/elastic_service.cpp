@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "platform/sim_point.h"
 #include "renaming/service.h"  // auto_shard_count
 #include "renaming/thread_ctx.h"
 
@@ -121,7 +122,7 @@ ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
   const std::uint64_t initial =
       std::clamp(initial_holders, min_holders_, options_.max_holders);
 
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   const std::uint64_t shards =
       shard_count_for(initial, options_.shards, schedules_.params());
   const std::uint64_t shard_n = (initial + shards - 1) / shards;
@@ -172,6 +173,7 @@ void ElasticRenamingService::cache_spill(NameStash& st, std::uint32_t k,
                                          EpochDomain::Slot& slot) {
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, k);
+  LOREN_SIM_POINT("stash.spill");
   release_shared(buf, n, slot);
 }
 
@@ -190,6 +192,7 @@ std::uint64_t ElasticRenamingService::flush_thread_cache() {
   if (!st.empty()) {
     Name buf[NameStash::kMaxCapacity];
     const std::uint32_t n = st.take_oldest(buf, st.size());
+    LOREN_SIM_POINT("stash.flush");
     freed = release_shared(buf, n, *per.slot);
   }
   st.set_gen(generation_.load(std::memory_order_acquire));
@@ -263,12 +266,15 @@ Name ElasticRenamingService::acquire() {
       continue;
     }
     // Growth unavailable (or pressure not yet sustained): deterministic
-    // sweep so we fail only on true exhaustion of the live group.
+    // sweep so we fail only on true exhaustion of the live group (or, with
+    // a sweep budget set, fail fast once the bounded walk is spent).
+    std::int64_t swept = -1;
     {
       EpochDomain::Guard guard(domain_, *per.slot);
       ShardGroup* g = live_group_.load(std::memory_order_acquire);
-      const std::int64_t local = g->sweep_acquire(&per.shard);
-      if (local >= 0) {
+      LOREN_SIM_POINT("elastic.sweep");
+      swept = g->sweep_acquire(&per.shard, options_.sweep_retry_budget);
+      if (swept >= 0) {
         g->note_acquired();
         // A sweep win is still a successful acquisition: it must end the
         // miss streak like a schedule win does. Leaving the streak in
@@ -277,13 +283,22 @@ Name ElasticRenamingService::acquire() {
         if (miss_streak_.load(std::memory_order_relaxed) != 0) {
           miss_streak_.store(0, std::memory_order_relaxed);
         }
-        return encode_name(*g, local, options_.debug_release_guard);
+        return encode_name(*g, swept, options_.debug_release_guard);
       }
     }
+    if (swept == ShardGroup::kSweepBudgetTruncated) {
+      // Budget-truncated sweep: the walk gave up before covering every
+      // shard, so this is *not* evidence the group is full. Report the
+      // explicit exhaustion code without forcing a grow — feeding a
+      // truncated scan into the grow path would reintroduce the
+      // spurious-grow bug the miss-streak discipline exists to prevent.
+      sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return kSweepBudgetExhausted;
+    }
     // True exhaustion: force a grow regardless of streak, or give up.
-    if (!options_.auto_grow || !grow_from(seen_gen)) return -1;
+    if (!options_.auto_grow || !grow_from(seen_gen)) return kExhausted;
   }
-  return -1;
+  return kExhausted;
 }
 
 bool ElasticRenamingService::release(Name name) {
@@ -313,6 +328,7 @@ bool ElasticRenamingService::release(Name name) {
       {
         EpochDomain::Guard guard(domain_, *per.slot);
         ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
+        LOREN_SIM_POINT("elastic.release.stamp");
         held = g != nullptr &&
                stamp_matches(*g, d, options_.debug_release_guard) &&
                g->is_held(d.local);
@@ -328,6 +344,7 @@ bool ElasticRenamingService::release(Name name) {
     EpochDomain::Guard guard(domain_, *per.slot);
     ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
     if (g == nullptr) return false;
+    LOREN_SIM_POINT("elastic.release.stamp");
     if (!stamp_matches(*g, d, options_.debug_release_guard)) return false;
     if (!g->release_local(d.local)) return false;
     g->note_released();
@@ -363,12 +380,14 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   for (int attempt = 0; attempt < 40 && got < k; ++attempt) {
     std::uint64_t seen_gen = 0;
     std::uint64_t round = 0;
+    bool budget_hit = false;
     {
       EpochDomain::Guard guard(domain_, *per.slot);
       // Generation before group, for the same reason as acquire().
       seen_gen = generation_.load(std::memory_order_acquire);
       ShardGroup* g = live_group_.load(std::memory_order_acquire);
-      round = g->try_acquire_many(ctx.rng, &per.shard, k - got, out + got);
+      round = g->try_acquire_many(ctx.rng, &per.shard, k - got, out + got,
+                                  options_.sweep_retry_budget, &budget_hit);
       if (round > 0) {
         // One live-counter add and one tag/stamp encode pass per
         // sub-batch — the whole point of batching.
@@ -386,6 +405,13 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       if (miss_streak_.load(std::memory_order_relaxed) != 0) {
         miss_streak_.store(0, std::memory_order_relaxed);
       }
+      break;
+    }
+    if (budget_hit) {
+      // The shortfall came from a budget-truncated backstop sweep, not
+      // from scanning every shard — no exhaustion evidence, so no miss
+      // streak and no grow. Hand back the partial batch.
+      sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     // Shortfall past try_acquire_many's sweep backstop: the live group
@@ -418,6 +444,7 @@ std::uint64_t ElasticRenamingService::release_shared(const Name* names,
     const DecodedName d = decode_name(name, options_.debug_release_guard);
     ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
     if (g == nullptr) continue;
+    LOREN_SIM_POINT("elastic.release.stamp");
     if (!stamp_matches(*g, d, options_.debug_release_guard)) continue;
     if (!g->release_local(d.local)) continue;
     if (g != run_group) {
@@ -487,7 +514,8 @@ std::uint64_t ElasticRenamingService::release_many(const Name* names,
 }
 
 bool ElasticRenamingService::grow_from(std::uint64_t seen_gen) {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  LOREN_SIM_POINT("elastic.grow");
+  std::lock_guard<SimMutex> lock(resize_mu_);
   if (generation_.load(std::memory_order_relaxed) != seen_gen) {
     return true;  // someone already resized since the caller's miss
   }
@@ -497,20 +525,20 @@ bool ElasticRenamingService::grow_from(std::uint64_t seen_gen) {
 }
 
 bool ElasticRenamingService::grow() {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   const std::uint64_t h = live_holders_.load(std::memory_order_relaxed);
   if (h >= options_.max_holders) return false;
   return resize_locked(std::min(h * 2, options_.max_holders));
 }
 
 bool ElasticRenamingService::shrink() {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   const std::uint64_t h = live_holders_.load(std::memory_order_relaxed);
   return resize_locked(std::max(h / 2, min_holders_));
 }
 
 bool ElasticRenamingService::resize(std::uint64_t holders) {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   return resize_locked(holders);
 }
 
@@ -539,12 +567,14 @@ bool ElasticRenamingService::resize_locked(std::uint64_t target) {
   // immediately), and the retiring advance comes only after the swap so
   // quiesced(retire_epoch) really means "no in-flight acquisition can
   // still insert into the old group".
+  LOREN_SIM_POINT("elastic.swap.publish");
   live_local_capacity_.store(raw->local_capacity(), std::memory_order_release);
   live_holders_.store(target, std::memory_order_release);
   live_tag_.store(static_cast<std::uint32_t>(tag), std::memory_order_release);
   groups_[static_cast<std::size_t>(tag)].store(raw, std::memory_order_release);
   live_group_.store(raw, std::memory_order_release);
   generation_.store(gen, std::memory_order_release);
+  LOREN_SIM_POINT("elastic.swap.retire");
   cur->retire(domain_.advance());
   linked_.push_back(std::move(group));
 
@@ -603,12 +633,12 @@ std::size_t ElasticRenamingService::reclaim_locked() {
 }
 
 std::size_t ElasticRenamingService::reclaim() {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   return reclaim_locked();
 }
 
 void ElasticRenamingService::maintenance() {
-  std::unique_lock<std::mutex> lock(resize_mu_, std::try_to_lock);
+  std::unique_lock<SimMutex> lock(resize_mu_, std::try_to_lock);
   if (!lock.owns_lock()) return;  // someone else is already on it
   reclaim_locked();
   if (!options_.auto_shrink) return;
@@ -628,19 +658,19 @@ void ElasticRenamingService::maintenance() {
 }
 
 std::uint64_t ElasticRenamingService::names_live() const {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   std::int64_t live = 0;
   for (const auto& g : linked_) live += g->live();
   return live > 0 ? static_cast<std::uint64_t>(live) : 0;
 }
 
 std::size_t ElasticRenamingService::groups_in_flight() const {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   return linked_.size();
 }
 
 std::uint64_t ElasticRenamingService::footprint_bytes() const {
-  std::lock_guard<std::mutex> lock(resize_mu_);
+  std::lock_guard<SimMutex> lock(resize_mu_);
   std::uint64_t bytes = 0;
   for (const auto& g : linked_) bytes += g->footprint_bytes();
   for (const auto& e : limbo_) bytes += e.group->footprint_bytes();

@@ -54,6 +54,7 @@
 
 #include "elastic/shard_group.h"
 #include "platform/epoch.h"
+#include "platform/sim_point.h"
 #include "renaming/batch_layout.h"
 #include "renaming/schedule_cache.h"
 #include "renaming/thread_ctx.h"
@@ -106,6 +107,15 @@ struct ElasticOptions {
   /// Initial per-thread stash capacity; per-thread hit-rate adaptation
   /// moves it within [NameStash::kMinCapacity, NameStash::kMaxCapacity].
   std::uint32_t name_cache_capacity = 16;
+  /// Bounded retry budget for the deterministic sweep backstop: at most
+  /// this many shards of the live group are swept per acquisition after
+  /// every probe schedule missed. 0 = unbounded (the historical full
+  /// walk). A budget-truncated sweep fails fast with
+  /// kSweepBudgetExhausted (-2) and counts in sweep_budget_exhausted();
+  /// it is deliberately NOT exhaustion evidence, so it neither feeds the
+  /// miss streak nor triggers a grow — a bounded scan giving up says
+  /// nothing about how full the namespace is.
+  std::uint32_t sweep_retry_budget = 0;
   /// Diagnostic hardening against *contract-violating* releases: stamp
   /// the issuing generation into bits [48, 63) of every name and reject a
   /// release whose stamp does not match the generation currently holding
@@ -131,6 +141,13 @@ class ElasticRenamingService {
   /// negative means "failure" everywhere).
   static constexpr std::uint32_t kGenStampShift = 48;
   static constexpr std::uint64_t kGenStampMask = 0x7FFF;
+
+  /// acquire() failure codes. kExhausted: the namespace is full and
+  /// cannot grow. kSweepBudgetExhausted: the bounded sweep budget
+  /// (options.sweep_retry_budget) ran out first — capacity may remain;
+  /// the caller chose bounded latency over a full walk.
+  static constexpr sim::Name kExhausted = -1;
+  static constexpr sim::Name kSweepBudgetExhausted = -2;
 
   /// Publishes generation 1, laid out for `initial_holders` (clamped to
   /// [min_holders, max_holders]). Throws std::invalid_argument for
@@ -239,6 +256,12 @@ class ElasticRenamingService {
   [[nodiscard]] std::uint64_t cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
   }
+  /// Times the bounded sweep budget ran out (acquire returning
+  /// kSweepBudgetExhausted, or an acquire_many shortfall caused by the
+  /// budget). Always 0 when options.sweep_retry_budget is 0.
+  [[nodiscard]] std::uint64_t sweep_budget_exhausted() const {
+    return sweep_budget_exhausted_.load(std::memory_order_relaxed);
+  }
   /// The calling thread's stash occupancy / adaptive capacity for this
   /// service (introspection and tests).
   [[nodiscard]] std::uint32_t thread_cache_size() const;
@@ -313,9 +336,16 @@ class ElasticRenamingService {
   /// time from the per-thread stashes).
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
+  /// Bounded-sweep failures (see sweep_budget_exhausted()).
+  std::atomic<std::uint64_t> sweep_budget_exhausted_{0};
 
   /// Serializes resize + reclamation bookkeeping (cold path only).
-  mutable std::mutex resize_mu_;
+  /// SimMutex, not std::mutex: the critical sections contain sim points
+  /// (the scenario engine suspends workers *inside* a resize to test the
+  /// publication order), and a blocking lock would deadlock the
+  /// serialized schedule — see platform/sim_point.h. Identical to
+  /// std::mutex in normal builds.
+  mutable SimMutex resize_mu_;
   std::vector<std::unique_ptr<ShardGroup>> linked_;  // live + draining
   std::vector<LimboEntry> limbo_;  // unlinked, awaiting final quiescence
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "platform/sim_point.h"
 #include "renaming/batch_claim.h"
 
 namespace loren {
@@ -86,10 +87,14 @@ std::int64_t ShardGroup::try_acquire(Xoshiro256& rng, std::uint32_t* sticky) {
   return -1;
 }
 
-std::int64_t ShardGroup::sweep_acquire(std::uint32_t* sticky) {
+std::int64_t ShardGroup::sweep_acquire(std::uint32_t* sticky,
+                                       std::uint64_t sweep_budget) {
   const std::uint64_t S = shard_mask_ + 1;
-  for (std::uint64_t k = 0; k < S; ++k) {
+  const std::uint64_t cap =
+      sweep_budget == 0 || sweep_budget > S ? S : sweep_budget;
+  for (std::uint64_t k = 0; k < cap; ++k) {
     const std::uint64_t si = (*sticky + k) & shard_mask_;
+    LOREN_SIM_POINT("group.sweep");
     // One-cell run-claim: word-at-a-time snapshots on a bitmap segment
     // (64 cells per load), line-at-a-time load-before-RMW on a cell
     // arena — either way the backstop fails only when the shard really
@@ -100,7 +105,7 @@ std::int64_t ShardGroup::sweep_acquire(std::uint32_t* sticky) {
       return static_cast<std::int64_t>((cell << shard_shift_) | si);
     }
   }
-  return -1;
+  return cap < S ? kSweepBudgetTruncated : -1;
 }
 
 std::uint64_t ShardGroup::claim_encoded(std::uint64_t si, std::uint64_t from,
@@ -115,7 +120,9 @@ std::uint64_t ShardGroup::claim_encoded(std::uint64_t si, std::uint64_t from,
 
 std::uint64_t ShardGroup::try_acquire_many(Xoshiro256& rng,
                                            std::uint32_t* sticky,
-                                           std::uint64_t k, std::int64_t* out) {
+                                           std::uint64_t k, std::int64_t* out,
+                                           std::uint64_t sweep_budget,
+                                           bool* sweep_budget_hit) {
   return batch_claim_ring(
       shard_mask_, shard_shift_, shard_stride_, sticky, k, out,
       [&](std::uint64_t si, bool* late) {
@@ -124,7 +131,8 @@ std::uint64_t ShardGroup::try_acquire_many(Xoshiro256& rng,
       [&](std::uint64_t si, std::uint64_t from, std::uint64_t to,
           std::uint64_t budget, std::int64_t* dst) {
         return claim_encoded(si, from, to, budget, dst);
-      });
+      },
+      sweep_budget, sweep_budget_hit);
 }
 
 bool ShardGroup::release_local(std::uint64_t local) {

@@ -55,8 +55,14 @@ class ShardGroup {
   std::int64_t try_acquire(Xoshiro256& rng, std::uint32_t* sticky);
 
   /// Deterministic sweep of every cell (ring order from *sticky): fails
-  /// only when zero cells in the group are free.
-  std::int64_t sweep_acquire(std::uint32_t* sticky);
+  /// with -1 only when zero cells in the group are free. `sweep_budget`
+  /// bounds the walk to that many shards (0 = unbounded): a truncated
+  /// sweep that found nothing returns kSweepBudgetTruncated (-2), which
+  /// the elastic service must NOT treat as exhaustion pressure (a
+  /// bounded scan giving up is not evidence the group is full).
+  static constexpr std::int64_t kSweepBudgetTruncated = -2;
+  std::int64_t sweep_acquire(std::uint32_t* sticky,
+                             std::uint64_t sweep_budget = 0);
 
   /// Batched acquisition: claims up to `k` group-local names into `out`,
   /// returning the number claimed. One probe-schedule walk finds a seed
@@ -67,9 +73,14 @@ class ShardGroup {
   /// (renaming/batch_claim.h holds the shared walk), so a shortfall
   /// (return < k) means the group had fewer than k free cells when
   /// scanned — the per-batch exhaustion signal the elastic service's
-  /// grow-on-shortfall policy consumes.
+  /// grow-on-shortfall policy consumes. `sweep_budget` bounds the
+  /// backstop sweep (0 = unbounded); a budget-truncated shortfall sets
+  /// *sweep_budget_hit so the caller can keep it out of the pressure
+  /// signals (see batch_claim.h).
   std::uint64_t try_acquire_many(Xoshiro256& rng, std::uint32_t* sticky,
-                                 std::uint64_t k, std::int64_t* out);
+                                 std::uint64_t k, std::int64_t* out,
+                                 std::uint64_t sweep_budget = 0,
+                                 bool* sweep_budget_hit = nullptr);
 
   /// Frees a group-local name; false when it is not currently taken
   /// (single-RMW validation, concurrent double releases cannot both

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "platform/cacheline.h"
+#include "platform/sim_point.h"
 
 namespace loren {
 
@@ -69,13 +70,23 @@ class EpochDomain {
     Guard(const EpochDomain& domain, Slot& slot) : slot_(&slot) {
       std::uint64_t e = domain.global_.load(std::memory_order_acquire);
       for (;;) {
+        // The publish/re-check race window the protocol exists to close:
+        // an adversarial schedule advances the epoch right here.
+        LOREN_SIM_POINT("epoch.pin.publish");
         slot_->pinned.store(e, std::memory_order_seq_cst);
         const std::uint64_t g = domain.global_.load(std::memory_order_seq_cst);
         if (g == e) break;  // pin published before any later advance's scan
         e = g;
       }
+      // Pinned and inside the critical section — the park site for the
+      // crash-mid-pin fault model (a reader that dies while pinned must
+      // block reclamation forever, never unblock it).
+      LOREN_SIM_POINT("epoch.pin");
     }
-    ~Guard() { slot_->pinned.store(kIdle, std::memory_order_release); }
+    ~Guard() {
+      LOREN_SIM_POINT("epoch.unpin");
+      slot_->pinned.store(kIdle, std::memory_order_release);
+    }
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
 
@@ -90,6 +101,7 @@ class EpochDomain {
   /// Bumps the global epoch; returns the *new* epoch E. Every reader
   /// pinned strictly before the advance holds an epoch < E.
   std::uint64_t advance() {
+    LOREN_SIM_POINT("epoch.advance");
     return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
   }
 

@@ -1,0 +1,94 @@
+// LOREN_SIM_POINT: the instrumentation hook of the deterministic
+// scenario engine (src/sim/scenario/).
+//
+// The concurrent protocols — epoch pin/unpin, elastic group-swap publish,
+// bitmap word claims, stash spills, release stamp checks, the sweep
+// backstops — are correct only across specific interleavings, and
+// nondeterministic stress tests visit those interleavings by luck. A sim
+// point marks a linearization-critical step so the scenario engine can
+// schedule *around* it deterministically: under a normal build the macro
+// compiles to nothing (zero code, zero data); under -DLOREN_SIM it
+// becomes one thread-local load and a predictable branch, and when the
+// calling thread belongs to a running ScenarioEngine it yields to the
+// engine's seeded cooperative scheduler, which may switch threads, stall
+// this one for a configured number of steps, or park it (crash model) at
+// exactly this point.
+//
+// Adding a point is one line; see docs/testing.md ("Adding a
+// LOREN_SIM_POINT") for the placement rules. The short version: put it
+// immediately before the shared-memory step whose interleavings matter,
+// give it a stable dotted tag ("subsystem.step"), and never put one
+// inside a critical section guarded by a plain std::mutex — use SimMutex
+// (below) for any mutex whose critical sections contain sim points, or
+// the engine can suspend the holder while another worker blocks on the
+// lock for real, deadlocking the serialized schedule.
+#pragma once
+
+#include <mutex>
+
+namespace loren::scenario {
+
+class ScenarioEngine;
+
+namespace detail {
+
+/// True iff the calling thread is a worker of a running ScenarioEngine.
+bool engine_active() noexcept;
+
+/// The instrumentation entry point: a no-op off-engine, a scheduler
+/// yield/fault site on an engine worker thread. `tag` must be a string
+/// literal (the engine stores the pointer for the trace and compares by
+/// content; lifetime must cover the run).
+void sim_point_hit(const char* tag) noexcept;
+
+/// Engine-internal: bind/unbind the calling thread to a worker of a
+/// running engine (engine.cpp calls this at worker start/exit).
+void bind_worker(ScenarioEngine* engine, unsigned worker_id) noexcept;
+ScenarioEngine* current_engine() noexcept;
+unsigned current_worker() noexcept;
+
+}  // namespace detail
+
+}  // namespace loren::scenario
+
+#ifdef LOREN_SIM
+#define LOREN_SIM_POINT(tag) ::loren::scenario::detail::sim_point_hit(tag)
+#else
+#define LOREN_SIM_POINT(tag) ((void)0)
+#endif
+
+namespace loren {
+
+#ifdef LOREN_SIM
+/// A mutex the scenario engine can schedule across. Identical to
+/// std::mutex off-engine; on an engine worker thread lock() spins on
+/// try_lock with a sim-point yield per failure, so a worker suspended
+/// *inside* the critical section (at some sim point) never deadlocks a
+/// worker waiting for the lock — the waiter keeps yielding until the
+/// scheduler resumes the holder. Use it for any mutex whose critical
+/// sections contain sim points (the elastic resize mutex); leave plain
+/// std::mutex for sections that never yield (counter registries).
+class SimMutex {
+ public:
+  void lock() {
+    if (!scenario::detail::engine_active()) {
+      mu_.lock();
+      return;
+    }
+    while (!mu_.try_lock()) {
+      scenario::detail::sim_point_hit("mutex.wait");
+    }
+  }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+#else
+/// Without -DLOREN_SIM there is no engine to schedule across and no sim
+/// point inside any critical section, so the plain mutex is exactly right.
+using SimMutex = std::mutex;
+#endif
+
+}  // namespace loren

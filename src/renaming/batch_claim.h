@@ -24,6 +24,8 @@
 
 #include <cstdint>
 
+#include "platform/sim_point.h"
+
 namespace loren {
 
 /// Runs a raw cell-index claim into the caller's output slots, then
@@ -54,13 +56,22 @@ std::uint64_t claim_encode_inplace(RawClaim&& raw_claim,
 /// returning the count. Encoded names are (cell << shard_shift) | si for
 /// both substrates, which is why the seed's cell index is recovered here
 /// with one shift.
+///
+/// `sweep_budget` bounds the phase-2 backstop to that many shard sweeps
+/// (0 = unbounded, the historical full walk). When the budget truncates
+/// the sweep while demand remains, `*sweep_budget_hit` is set so the
+/// caller can distinguish "bounded scan gave up" from true exhaustion —
+/// the two must not feed the same pressure signals (an elastic service
+/// that grew on a truncated scan would reintroduce the spurious-grow
+/// bug). `sweep_budget_hit` may be null when the budget is 0.
 template <class Probe, class Claim>
 std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
                                std::uint32_t shard_shift,
                                std::uint64_t shard_stride,
                                std::uint32_t* sticky, std::uint64_t k,
                                std::int64_t* out, Probe&& probe,
-                               Claim&& claim) {
+                               Claim&& claim, std::uint64_t sweep_budget = 0,
+                               bool* sweep_budget_hit = nullptr) {
   const std::uint64_t S = shard_mask + 1;
   std::uint64_t got = 0;
   // Phase 1 — schedule-seeded run claims: k names for ~one schedule walk.
@@ -81,12 +92,22 @@ std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
     }
   }
   // Phase 2 — deterministic sweep backstop: a shortfall past here is true
-  // (near-)exhaustion. Fresh origin: the hint may have moved in phase 1.
+  // (near-)exhaustion — or, with a budget set, a deliberately truncated
+  // scan (reported via *sweep_budget_hit, never mistaken for pressure).
+  // Fresh origin: the hint may have moved in phase 1.
   if (got < k) {
+    const std::uint64_t sweep_cap =
+        sweep_budget == 0 || sweep_budget > S ? S : sweep_budget;
     const std::uint32_t origin2 = *sticky;
-    for (std::uint64_t w = 0; w < S && got < k; ++w) {
+    std::uint64_t w = 0;
+    for (; w < sweep_cap && got < k; ++w) {
       const std::uint64_t si = (origin2 + w) & shard_mask;
+      LOREN_SIM_POINT("sweep.shard");
       got += claim(si, 0, shard_stride, k - got, out + got);
+    }
+    if (got < k && w == sweep_cap && sweep_cap < S &&
+        sweep_budget_hit != nullptr) {
+      *sweep_budget_hit = true;
     }
   }
   return got;

@@ -1,10 +1,12 @@
 #include "renaming/service.h"
 
+#include <algorithm>
 #include <vector>
 #include <atomic>
 #include <stdexcept>
 #include <thread>
 
+#include "platform/sim_point.h"
 #include "renaming/batch_claim.h"
 #include "renaming/thread_ctx.h"
 
@@ -194,6 +196,8 @@ void RenamingService::cache_spill(NameStash& st, std::uint32_t k,
                                   RegisteredCounter::Node& counter) {
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, k);
+  // Names leave the (thread-private) stash and hit shared cells/counter.
+  LOREN_SIM_POINT("stash.spill");
   release_shared(buf, n, counter);
 }
 
@@ -235,9 +239,15 @@ Name RenamingService::acquire() {
   // the namespace really is near-exhausted): deterministic sweep — a
   // one-cell run-claim per shard, word-at-a-time on a bitmap substrate
   // (64 cells per snapshot) — so acquire() fails only when zero cells
-  // are free.
-  for (std::uint64_t k = 0; k < S; ++k) {
+  // are free, or fails fast with kSweepBudgetExhausted once the bounded
+  // retry budget (if configured) is spent.
+  const std::uint64_t sweep_cap =
+      options_.sweep_retry_budget == 0
+          ? S
+          : std::min<std::uint64_t>(S, options_.sweep_retry_budget);
+  for (std::uint64_t k = 0; k < sweep_cap; ++k) {
     const std::uint64_t si = (per.shard + k) & shard_mask_;
+    LOREN_SIM_POINT("service.sweep");
     std::uint64_t u = 0;
     if (shards_[si]->seg.try_claim_run(0, shard_stride_, 1, &u) == 1) {
       per.shard = static_cast<std::uint32_t>(si);
@@ -245,7 +255,11 @@ Name RenamingService::acquire() {
       return static_cast<Name>((u << shard_shift_) | si);
     }
   }
-  return -1;
+  if (sweep_cap < S) {
+    sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    return kSweepBudgetExhausted;
+  }
+  return kExhausted;
 }
 
 std::uint64_t RenamingService::claim_encoded(Shard& shard,
@@ -277,7 +291,9 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
   }
   // The shared seed-and-run-claim ring walk (renaming/batch_claim.h): a
   // shortfall past its sweep backstop means fewer than k cells were free
-  // across the whole namespace when scanned.
+  // across the whole namespace when scanned — unless the bounded sweep
+  // budget truncated the scan, which is counted, not conflated.
+  bool budget_hit = false;
   const std::uint64_t shared_got = batch_claim_ring(
       shard_mask_, shard_shift_, shard_stride_, &per.shard, k - got, out + got,
       [&](std::uint64_t si, bool* late) {
@@ -286,7 +302,11 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
       [&](std::uint64_t si, std::uint64_t from, std::uint64_t to,
           std::uint64_t budget, Name* dst) {
         return claim_encoded(*shards_[si], si, from, to, budget, dst);
-      });
+      },
+      options_.sweep_retry_budget, &budget_hit);
+  if (budget_hit) {
+    sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (shared_got > 0) {
     RegisteredCounter::add(*per.counter, static_cast<std::int64_t>(shared_got));
   }
@@ -400,6 +420,7 @@ std::uint64_t RenamingService::flush_thread_cache() {
   if (per.counter == nullptr) per.counter = &live_.register_thread();
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, st.size());
+  LOREN_SIM_POINT("stash.flush");
   return release_shared(buf, n, *per.counter);
 }
 

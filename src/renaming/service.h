@@ -114,10 +114,28 @@ struct RenamingServiceOptions {
   /// Initial per-thread stash capacity; per-thread hit-rate adaptation
   /// moves it within [NameStash::kMinCapacity, NameStash::kMaxCapacity].
   std::uint32_t name_cache_capacity = 16;
+  /// Bounded retry budget for the deterministic sweep backstop: the
+  /// maximum number of shards a single acquire()/acquire_many() may
+  /// sweep after every probe schedule missed. 0 = unbounded (sweep the
+  /// whole namespace — the historical behaviour). With a budget set, an
+  /// acquisition that exhausts it fails fast with kSweepBudgetExhausted
+  /// instead of walking every remaining cell, and the service counts the
+  /// event in sweep_budget_exhausted() — the explicit bounded failure
+  /// mode admission control (ROADMAP) and the fault engine inject
+  /// against.
+  std::uint32_t sweep_retry_budget = 0;
 };
 
 class RenamingService {
  public:
+  /// acquire() failure codes (acquire_many reports shortfalls by count).
+  /// kExhausted: every cell scanned was taken. kSweepBudgetExhausted:
+  /// the bounded sweep budget (options.sweep_retry_budget) ran out
+  /// before a free cell was found — the namespace may NOT be full; the
+  /// caller chose bounded latency over a full walk.
+  static constexpr sim::Name kExhausted = -1;
+  static constexpr sim::Name kSweepBudgetExhausted = -2;
+
   /// Serves up to `n` concurrent holders from a ~(1+eps)n namespace.
   /// Throws std::invalid_argument for n == 0. The constructed service is
   /// immediately usable from any thread.
@@ -130,6 +148,8 @@ class RenamingService {
   /// cache on, "taken" includes names parked in *other* threads' stashes
   /// (bounded by stash capacity x threads); callers that must squeeze the
   /// last few names out have the holders flush_thread_cache() first.
+  /// With options.sweep_retry_budget set, a truncated sweep returns
+  /// kSweepBudgetExhausted (-2) instead — see the option's doc.
   sim::Name acquire();
 
   /// Frees `name` for reacquisition. Returns false (and changes nothing)
@@ -205,6 +225,13 @@ class RenamingService {
   }
   [[nodiscard]] std::uint64_t cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// Times the bounded sweep budget ran out (acquire returning
+  /// kSweepBudgetExhausted, or an acquire_many shortfall caused by the
+  /// budget rather than true exhaustion). Always 0 when
+  /// options.sweep_retry_budget is 0.
+  [[nodiscard]] std::uint64_t sweep_budget_exhausted() const {
+    return sweep_budget_exhausted_.load(std::memory_order_relaxed);
   }
   /// The calling thread's stash occupancy / adaptive capacity for this
   /// service (introspection and tests).
@@ -310,6 +337,8 @@ class RenamingService {
   /// Aggregate cache statistics (cold: folded in one window at a time).
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
+  /// Bounded-sweep failures (see sweep_budget_exhausted()).
+  std::atomic<std::uint64_t> sweep_budget_exhausted_{0};
 };
 
 }  // namespace loren

@@ -173,10 +173,34 @@ inline std::uint64_t next_service_instance_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace detail {
+/// ~0 = "no override"; see force_thread_slot.
+inline std::uint64_t& forced_thread_slot_ref() {
+  thread_local std::uint64_t forced = ~std::uint64_t{0};
+  return forced;
+}
+}  // namespace detail
+
+/// Test/simulation hook: pins the *calling thread's* dense slot to
+/// `slot`, overriding arrival-order assignment. The scenario engine
+/// (src/sim/scenario/) calls this with the worker id before a workload
+/// body runs, so per-thread probe schedules, home shards and stash
+/// identity depend only on the worker id — not on how many threads the
+/// process happened to create earlier — which is what makes schedule
+/// traces byte-identical across runs in one process. Must be called
+/// before the thread first touches a service (the slot is captured into
+/// the thread's per-service context on first use).
+inline void force_thread_slot(std::uint64_t slot) {
+  detail::forced_thread_slot_ref() = slot;
+}
+
 /// Threads get dense slots 0, 1, 2, ... in arrival order, so `slot mod S`
 /// spreads the first S threads over S distinct home shards (a random hash
-/// would collide at birthday rates).
+/// would collide at birthday rates). force_thread_slot (above) overrides
+/// the assignment for deterministic-schedule testing.
 inline std::uint64_t dense_thread_slot() {
+  const std::uint64_t forced = detail::forced_thread_slot_ref();
+  if (forced != ~std::uint64_t{0}) return forced;
   static std::atomic<std::uint64_t> next{0};
   thread_local const std::uint64_t slot =
       next.fetch_add(1, std::memory_order_relaxed);

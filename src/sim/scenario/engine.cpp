@@ -1,0 +1,247 @@
+// ScenarioEngine implementation: a token-passing cooperative scheduler.
+//
+// Exactly one worker holds the token (current_) and executes; everyone
+// else blocks on cv_. A scheduling point hands the token through
+// reschedule_locked, whose choice is a pure function of the scenario
+// seed and the sequence of prior choices — which is why identical
+// (bodies, Scenario) pairs produce byte-identical traces. Workers are
+// real std::threads so the code under test runs its real atomics; the
+// serialization only ever *narrows* the set of behaviours to the chosen
+// interleaving.
+#include "sim/scenario/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "platform/sim_point.h"
+#include "renaming/thread_ctx.h"
+
+namespace loren::scenario {
+
+ScenarioEngine::ScenarioEngine(Scenario scenario)
+    : scenario_(scenario), sched_rng_(scenario.seed) {}
+
+ScenarioEngine::~ScenarioEngine() { finish(); }
+
+void ScenarioEngine::Worker::yield(const char* tag) { engine_->sim_point(tag); }
+
+bool ScenarioEngine::Worker::drop_release() {
+  ScenarioEngine& e = *engine_;
+  std::lock_guard<std::mutex> lk(e.mu_);
+  ++e.release_calls_;
+  if (e.scenario_.drop_release_every == 0) return false;
+  if (e.scenario_.drop_release_limit != 0 &&
+      e.drops_ >= e.scenario_.drop_release_limit) {
+    return false;
+  }
+  if (e.release_calls_ % e.scenario_.drop_release_every != 0) return false;
+  ++e.drops_;
+  e.record_locked(id_, "release", "DROP");
+  return true;
+}
+
+bool ScenarioEngine::run(std::vector<Body> bodies) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_ || bodies.empty()) return false;  // one run() per engine
+    started_ = true;
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(bodies.size());
+  workers_ = std::vector<WorkerSlot>(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Worker RNG streams are decorrelated from the scheduler stream and
+    // from each other; stream 0 is reserved for the scheduler itself.
+    workers_[i].handle.reset(
+        new Worker(this, i, mix_seed(scenario_.seed, i + 1)));
+    workers_[i].rule_hits.assign(scenario_.stalls.size(), 0);
+    workers_[i].rule_fired.assign(scenario_.stalls.size(), 0);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Body body = std::move(bodies[i]);
+    workers_[i].thread = std::thread(
+        [this, i, body = std::move(body)] { worker_main(i, body); });
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    if (livelock_) return true;
+    for (const WorkerSlot& w : workers_) {
+      if (!w.done && !w.parked) return false;
+    }
+    return true;
+  });
+  return !livelock_;
+}
+
+void ScenarioEngine::worker_main(std::uint32_t id, const Body& body) {
+  detail::bind_worker(this, id);
+  // Pin the dense thread slot: per-thread probe schedules, home shards
+  // and stash identity then depend only on the worker id, never on how
+  // many threads this *process* created before this run.
+  force_thread_slot(id);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    workers_[id].ready = true;
+    if (++ready_count_ == workers_.size()) {
+      // Last arrival grants the first token; nobody ran before this, so
+      // the start order of the underlying threads cannot leak into the
+      // schedule.
+      current_ = pick_next(kNone, false);
+      cv_.notify_all();
+    }
+    cv_.wait(lk, [&] { return current_ == id || free_run_; });
+  }
+  try {
+    body(*workers_[id].handle);
+  } catch (...) {
+    std::lock_guard<std::mutex> g(mu_);
+    record_locked(id, "body", "EXCEPTION");
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    workers_[id].done = true;
+    if (!free_run_ && current_ == id) {
+      reschedule_locked(id, lk);
+    }
+    cv_.notify_all();  // wake run()'s completion wait
+  }
+  detail::bind_worker(nullptr, kNone);
+}
+
+void ScenarioEngine::sim_point(const char* tag) {
+  const std::uint32_t me = detail::current_worker();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_ || !started_) return;
+  if (current_ != me) {
+    // Defensive: only the token holder executes, but if a wakeup raced
+    // with finish() we might get here — wait for our turn or the end.
+    cv_.wait(lk, [&] { return current_ == me || free_run_; });
+    if (free_run_) return;
+  }
+  ++step_;
+  if (step_ > scenario_.max_steps) {
+    livelock_ = true;
+    free_run_ = true;
+    if (scenario_.record_trace) trace_.append("LIVELOCK\n");
+    cv_.notify_all();
+    return;
+  }
+  if (!apply_stalls_locked(me, tag)) record_locked(me, tag, nullptr);
+  reschedule_locked(me, lk);
+}
+
+bool ScenarioEngine::runnable_locked(const WorkerSlot& w) const {
+  return w.ready && !w.done && !w.parked && w.stall_until <= step_;
+}
+
+std::uint32_t ScenarioEngine::pick_next(std::uint32_t me, bool me_runnable) {
+  std::uint32_t runnable[64];
+  std::uint32_t cnt = 0;
+  for (std::uint32_t i = 0; i < workers_.size() && cnt < 64; ++i) {
+    if (runnable_locked(workers_[i])) runnable[cnt++] = i;
+  }
+  if (cnt == 0) return kNone;
+  ++decisions_;
+  // Preemption bound: between considered switch points the current
+  // worker keeps running (if it still can).
+  if (me != kNone && me_runnable && scenario_.preempt_every > 1 &&
+      decisions_ % scenario_.preempt_every != 0) {
+    return me;
+  }
+  return runnable[sched_rng_.below(cnt)];
+}
+
+void ScenarioEngine::fast_forward_locked() {
+  // Nobody is runnable but some workers are in finite stalls: jump the
+  // step clock to the earliest expiry instead of spinning.
+  std::uint64_t target = std::numeric_limits<std::uint64_t>::max();
+  for (const WorkerSlot& w : workers_) {
+    if (w.ready && !w.done && !w.parked && w.stall_until > step_) {
+      target = std::min(target, w.stall_until);
+    }
+  }
+  if (target == std::numeric_limits<std::uint64_t>::max()) return;
+  if (scenario_.record_trace) {
+    char buf[64];
+    const int len = std::snprintf(buf, sizeof buf, "ff %llu\n",
+                                  static_cast<unsigned long long>(target));
+    if (len > 0) trace_.append(buf, static_cast<std::size_t>(len));
+  }
+  step_ = target;
+}
+
+void ScenarioEngine::reschedule_locked(std::uint32_t me,
+                                       std::unique_lock<std::mutex>& lk) {
+  WorkerSlot& w = workers_[me];
+  std::uint32_t next = pick_next(me, runnable_locked(w));
+  if (next == kNone) {
+    fast_forward_locked();
+    next = pick_next(me, runnable_locked(w));
+  }
+  current_ = next;  // may be kNone: everyone done or parked — run() ends
+  cv_.notify_all();
+  if (next == me || w.done) return;
+  cv_.wait(lk, [&] { return current_ == me || free_run_; });
+}
+
+bool ScenarioEngine::apply_stalls_locked(std::uint32_t me, const char* tag) {
+  WorkerSlot& w = workers_[me];
+  for (std::size_t r = 0; r < scenario_.stalls.size(); ++r) {
+    const StallRule& rule = scenario_.stalls[r];
+    if (rule.worker != kAnyWorker && rule.worker != me) continue;
+    if (std::strcmp(rule.tag, tag) != 0) continue;
+    const std::uint64_t hit = w.rule_hits[r]++;
+    if (hit < rule.after_hits) continue;
+    if (rule.times != 0 && w.rule_fired[r] >= rule.times) continue;
+    ++w.rule_fired[r];
+    ++stalls_fired_;
+    if (rule.stall_steps == 0) {
+      w.parked = true;
+      record_locked(me, tag, "PARK");
+    } else {
+      w.stall_until = step_ + rule.stall_steps;
+      char marker[48];
+      std::snprintf(marker, sizeof marker, "STALL(%llu)",
+                    static_cast<unsigned long long>(rule.stall_steps));
+      record_locked(me, tag, marker);
+    }
+    return true;  // at most one rule fires per point
+  }
+  return false;
+}
+
+void ScenarioEngine::record_locked(std::uint32_t me, const char* tag,
+                                   const char* marker) {
+  if (!scenario_.record_trace) return;
+  char buf[160];
+  const int len =
+      std::snprintf(buf, sizeof buf, "%llu w%u %s%s%s\n",
+                    static_cast<unsigned long long>(step_), me, tag,
+                    marker != nullptr ? " " : "", marker != nullptr ? marker : "");
+  if (len > 0) trace_.append(buf, static_cast<std::size_t>(len));
+}
+
+std::uint64_t ScenarioEngine::parked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const WorkerSlot& w : workers_) n += w.parked ? 1 : 0;
+  return n;
+}
+
+void ScenarioEngine::finish() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_run_ = true;
+    for (WorkerSlot& w : workers_) {
+      w.parked = false;
+      w.stall_until = 0;
+    }
+    cv_.notify_all();
+  }
+  for (WorkerSlot& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+}
+
+}  // namespace loren::scenario

@@ -1,0 +1,168 @@
+// ScenarioEngine: deterministic cooperative execution of the real stack.
+//
+// The engine runs workload bodies on real std::threads against the real
+// production objects (TasArena, BitmapArena, ShardGroup, RenamingService,
+// ElasticRenamingService — unmodified, same atomics, same memory orders),
+// but serializes them: exactly one worker thread executes at any moment,
+// and control switches only at *scheduling points* — the explicit
+// Worker::yield() op boundaries every build has, plus every
+// LOREN_SIM_POINT inside the stack when compiled with -DLOREN_SIM. At
+// each point a seeded RNG picks the next runnable worker (subject to the
+// Scenario's preemption bound and stall rules), so an interleaving is a
+// pure function of (bodies, Scenario) and any failure replays exactly
+// from its seed. This is the CHESS/adversary-scheduler discipline from
+// the systematic concurrency-testing literature, applied to the renaming
+// stack: the code under test is the shipped code, only the schedule is
+// synthetic.
+//
+// Execution model
+//   * run(bodies) spawns one thread per body. All threads start, register,
+//     and block; when the last is ready the scheduler grants the first
+//     token. A worker runs until its next scheduling point, where the
+//     engine may hand the token elsewhere. run() returns when every
+//     worker is done or parked, or cuts the run off at max_steps
+//     (livelock guard, returns false).
+//   * Stall rules (scenario.h) hold a worker at a sim point for N steps —
+//     or park it forever (crash model). A run can *end* with workers
+//     parked: run() returns, the test asserts mid-crash invariants
+//     (e.g. "reclaim cannot complete while a crashed thread is pinned"),
+//     then finish() lifts the serialization, lets parked workers run to
+//     completion, and joins everything.
+//   * Determinism requires the workload itself be schedule-deterministic:
+//     bodies must draw randomness only from Worker::rng() and the engine
+//     pins each worker's dense thread slot (thread_ctx.h) so per-thread
+//     probe schedules and home shards are identical across runs. One
+//     run() per engine; build a fresh engine (fresh threads, fresh TLS)
+//     for each run.
+//
+// The trace is a newline-separated text log: one "step worker tag" line
+// per scheduling point plus STALL/PARK/RESUME/DROP/FF markers. Identical
+// (seed, Scenario, bodies) ⇒ byte-identical trace; tests print it with
+// the seed on any violation so the schedule replays exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/rng.h"
+#include "sim/scenario/scenario.h"
+
+namespace loren::scenario {
+
+class ScenarioEngine {
+ public:
+  /// Handle passed to each workload body: its identity, its private
+  /// deterministic RNG, and its access to the engine's fault knobs.
+  /// Valid only inside the body and only on the body's own thread.
+  class Worker {
+   public:
+    [[nodiscard]] std::uint32_t id() const { return id_; }
+
+    /// The body's only legitimate randomness source: seeded from
+    /// (scenario.seed, worker id), so op mixes replay with the schedule.
+    [[nodiscard]] Xoshiro256& rng() { return rng_; }
+
+    /// Explicit op-boundary scheduling point. Works in every build (no
+    /// -DLOREN_SIM needed), so scenario tests interleave at op
+    /// granularity even when the stack itself is uninstrumented.
+    void yield(const char* tag = "op");
+
+    /// Consults the scenario's dropped-release knob: true means "model a
+    /// crashed holder — leak this name instead of releasing it".
+    [[nodiscard]] bool drop_release();
+
+   private:
+    friend class ScenarioEngine;
+    Worker(ScenarioEngine* engine, std::uint32_t id, std::uint64_t seed)
+        : engine_(engine), id_(id), rng_(seed) {}
+    ScenarioEngine* engine_;
+    std::uint32_t id_;
+    Xoshiro256 rng_;
+  };
+
+  using Body = std::function<void(Worker&)>;
+
+  explicit ScenarioEngine(Scenario scenario);
+  ~ScenarioEngine();
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Runs the bodies to completion (or park) under the scenario's
+  /// schedule. Returns true iff the run completed without hitting the
+  /// max_steps livelock guard. After run() returns, parked workers (if
+  /// any) are still suspended at their sim points — assert mid-crash
+  /// invariants, then call finish().
+  bool run(std::vector<Body> bodies);
+
+  /// Ends the serialized phase: unparks every parked worker, lets all
+  /// threads free-run concurrently to completion, and joins them.
+  /// Idempotent; also called by the destructor.
+  void finish();
+
+  /// The schedule trace (empty if record_trace was off). Stable after
+  /// run() returns; fault markers are embedded in-line.
+  [[nodiscard]] const std::string& trace() const { return trace_; }
+
+  /// Scheduler steps consumed (== scheduling points reached).
+  [[nodiscard]] std::uint64_t steps() const { return step_; }
+
+  /// Stall/park rule firings, releases dropped, workers still parked.
+  [[nodiscard]] std::uint64_t stalls_fired() const { return stalls_fired_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t parked() const;
+
+  /// True iff the last run() was cut off by the max_steps guard.
+  [[nodiscard]] bool livelock() const { return livelock_; }
+
+  /// Called from instrumentation (LOREN_SIM_POINT via sim_point_hit) and
+  /// from Worker::yield on a worker thread: the scheduling point itself.
+  void sim_point(const char* tag);
+
+ private:
+  struct WorkerSlot {
+    std::thread thread;
+    std::unique_ptr<Worker> handle;
+    bool ready = false;        // thread started and waiting for the token
+    bool done = false;         // body returned (or threw)
+    bool parked = false;       // crash-parked at a sim point
+    std::uint64_t stall_until = 0;  // > step_ means stalled until then
+    std::vector<std::uint64_t> rule_hits;   // per-rule matching-hit counters
+    std::vector<std::uint64_t> rule_fired;  // per-rule firing counters
+  };
+
+  void worker_main(std::uint32_t id, const Body& body);
+  // All of the below require mu_ held.
+  std::uint32_t pick_next(std::uint32_t me, bool me_runnable);
+  bool runnable_locked(const WorkerSlot& w) const;
+  void fast_forward_locked();
+  void reschedule_locked(std::uint32_t me, std::unique_lock<std::mutex>& lk);
+  bool apply_stalls_locked(std::uint32_t me, const char* tag);
+  void record_locked(std::uint32_t me, const char* tag, const char* marker);
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  Scenario scenario_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WorkerSlot> workers_;
+  Xoshiro256 sched_rng_;
+  std::uint32_t current_ = kNone;   // token holder
+  std::uint32_t ready_count_ = 0;
+  std::uint64_t step_ = 0;
+  std::uint64_t decisions_ = 0;     // preemption-bound counter
+  std::uint64_t stalls_fired_ = 0;
+  std::uint64_t release_calls_ = 0;
+  std::uint64_t drops_ = 0;
+  bool started_ = false;
+  bool free_run_ = false;           // finish(): serialization lifted
+  bool livelock_ = false;
+  std::string trace_;
+};
+
+}  // namespace loren::scenario

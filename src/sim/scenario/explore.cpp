@@ -1,0 +1,57 @@
+#include "sim/scenario/explore.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace loren::scenario {
+
+std::vector<ExploreFailure> explore(const ExploreConfig& config,
+                                    const RunFn& run) {
+  std::vector<std::uint32_t> bounds = config.preempt_intervals;
+  if (bounds.empty()) bounds.push_back(config.base.preempt_every);
+
+  std::vector<ExploreFailure> failures;
+  for (std::uint64_t s = 0; s < config.seeds; ++s) {
+    for (const std::uint32_t bound : bounds) {
+      Scenario sc = config.base;
+      sc.seed = config.first_seed + s;
+      sc.preempt_every = bound;
+      std::string trace;
+      std::string message = run(sc, &trace);
+      if (message.empty()) continue;
+      ExploreFailure f;
+      f.seed = sc.seed;
+      f.preempt_every = bound;
+      f.message = std::move(message);
+      f.trace = std::move(trace);
+      failures.push_back(std::move(f));
+      if (config.max_failures != 0 && failures.size() >= config.max_failures) {
+        return failures;
+      }
+    }
+  }
+  return failures;
+}
+
+std::string describe(const std::vector<ExploreFailure>& failures,
+                     std::size_t max_trace_lines) {
+  std::ostringstream out;
+  for (const ExploreFailure& f : failures) {
+    out << "--- violation at seed=" << f.seed
+        << " preempt_every=" << f.preempt_every << " ---\n"
+        << f.message << "\nschedule trace (replay with this seed):\n";
+    std::size_t lines = 0;
+    std::size_t pos = 0;
+    while (pos < f.trace.size() && lines < max_trace_lines) {
+      const std::size_t nl = f.trace.find('\n', pos);
+      const std::size_t end = nl == std::string::npos ? f.trace.size() : nl;
+      out << "  " << f.trace.substr(pos, end - pos) << "\n";
+      pos = end + 1;
+      ++lines;
+    }
+    if (pos < f.trace.size()) out << "  ... (trace truncated)\n";
+  }
+  return out.str();
+}
+
+}  // namespace loren::scenario

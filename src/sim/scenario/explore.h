@@ -1,0 +1,63 @@
+// Schedule exploration: sweep seeds × preemption bounds over a scenario.
+//
+// One deterministic run checks one interleaving; the explorer's job is
+// coverage — run the same workload under many seeds and several
+// preemption bounds (CHESS observed that schedules with *few* preemptions
+// find most bugs, so small bounds are first-class, not just bound 1) and
+// collect every invariant violation together with its exact replay
+// coordinates. The explorer knows nothing about services or invariants:
+// the caller supplies a RunFn that builds the stack, runs one engine and
+// returns a failure report (empty string = green), so the same sweep
+// harness serves elastic churn, bitmap storms, or any future workload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario/scenario.h"
+
+namespace loren::scenario {
+
+/// One invariant violation: everything needed to replay it exactly.
+struct ExploreFailure {
+  std::uint64_t seed = 0;
+  std::uint32_t preempt_every = 0;
+  std::string message;  // what failed
+  std::string trace;    // the schedule that produced it
+};
+
+struct ExploreConfig {
+  /// Scenario template: each run copies it and overrides seed +
+  /// preempt_every with the swept values.
+  Scenario base;
+  /// Seeds swept: first_seed, first_seed+1, ..., first_seed+seeds-1.
+  std::uint64_t first_seed = 1;
+  std::uint64_t seeds = 16;
+  /// Preemption bounds swept per seed (empty = just base.preempt_every).
+  std::vector<std::uint32_t> preempt_intervals = {1, 2, 7};
+  /// Stop early after this many failures (0 = collect all).
+  std::uint64_t max_failures = 8;
+};
+
+/// Runs one scenario instance: build the stack, drive an engine, check
+/// invariants. Returns "" when green; otherwise a failure message. The
+/// second output parameter receives the engine's schedule trace (the
+/// explorer stores it only for failing runs).
+using RunFn =
+    std::function<std::string(const Scenario& scenario, std::string* trace)>;
+
+/// Sweeps the grid and returns every failure found (empty = all green).
+/// Deterministic: the grid order is seeds-major, bounds-minor, and each
+/// cell is an independent deterministic run.
+std::vector<ExploreFailure> explore(const ExploreConfig& config,
+                                    const RunFn& run);
+
+/// Formats failures for a test assertion message: one block per failure
+/// with seed, preemption bound, message, and the trace (trimmed to
+/// `max_trace_lines` lines). Empty string when `failures` is empty.
+std::string describe(const std::vector<ExploreFailure>& failures,
+                     std::size_t max_trace_lines = 40);
+
+}  // namespace loren::scenario

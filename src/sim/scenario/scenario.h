@@ -1,0 +1,74 @@
+// Scenario: the declarative config of the deterministic fault engine.
+//
+// A Scenario is everything that determines a run besides the workload
+// bodies themselves: the scheduler seed, the preemption bound, the step
+// ceiling, and the fault knobs (stalls/parks at chosen sim points,
+// dropped releases). Two runs of the same bodies under the same Scenario
+// produce byte-identical schedule traces — that is the engine's core
+// contract (tested by ScenarioEngineTest.TraceIsByteIdenticalAcrossRuns),
+// and it is what makes a trace printed by a failing CI run replayable
+// locally by pasting the seed back in.
+//
+// See engine.h for the execution model and docs/testing.md for the
+// knob-by-knob walkthrough.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace loren::scenario {
+
+/// Matches every worker (StallRule::worker wildcard).
+inline constexpr std::uint32_t kAnyWorker = 0xFFFFFFFFu;
+
+/// A declarative stall/crash injection: when worker `worker` (or any
+/// worker) reaches sim point `tag` for the (`after_hits`+1)-th matching
+/// time, it is held there for `stall_steps` scheduler steps while the
+/// other workers keep running — or parked indefinitely when
+/// `stall_steps == 0`, which models a thread that crashed (or was
+/// descheduled forever) at exactly that protocol step. Parked workers
+/// resume only in ScenarioEngine::finish().
+struct StallRule {
+  const char* tag = "";                  // exact sim-point tag to match
+  std::uint32_t worker = kAnyWorker;     // worker id, or kAnyWorker
+  std::uint64_t after_hits = 0;          // matching hits to let pass first
+  std::uint64_t stall_steps = 0;         // 0 = park forever (crash model)
+  std::uint64_t times = 1;               // firings before spent; 0 = every hit
+};
+
+/// One deterministic run: seed + scheduling bounds + fault knobs.
+struct Scenario {
+  /// Seeds the scheduler's interleaving choices and, via mix_seed, each
+  /// Worker's private workload RNG. The one number to vary when
+  /// exploring and to pin when replaying.
+  std::uint64_t seed = 1;
+
+  /// Livelock guard: a run exceeding this many scheduler steps is cut
+  /// off (run() returns false and reports livelock()). Generous default;
+  /// the churn scenarios use a few thousand steps.
+  std::uint64_t max_steps = 1u << 20;
+
+  /// Preemption bound: the scheduler considers switching workers only at
+  /// every `preempt_every`-th sim point (1 = every point — maximally
+  /// adversarial; larger values yield longer uninterrupted runs, the
+  /// "few preemptions find most bugs" regime of CHESS-style search).
+  std::uint32_t preempt_every = 1;
+
+  /// Stall/park injections, checked in order at every sim point.
+  std::vector<StallRule> stalls;
+
+  /// Dropped-release fault: every `drop_release_every`-th call a worker
+  /// makes to Worker::drop_release() answers "drop it" (0 = never), up
+  /// to `drop_release_limit` total drops (0 = unlimited). Workload
+  /// bodies consult drop_release() before releasing and leak the name
+  /// when told to — modeling a holder that dies without releasing.
+  std::uint64_t drop_release_every = 0;
+  std::uint64_t drop_release_limit = 0;
+
+  /// Record the schedule trace (step / worker / tag lines plus fault
+  /// markers). On by default: traces are the replay artifact. Turn off
+  /// only for very long exploration sweeps where memory matters.
+  bool record_trace = true;
+};
+
+}  // namespace loren::scenario

@@ -1,0 +1,34 @@
+// The thread-local dispatch behind LOREN_SIM_POINT.
+//
+// Instrumentation in the hot paths must cost nothing when no engine is
+// driving the thread — including in -DLOREN_SIM builds, where the whole
+// test suite runs instrumented but only the scenario tests actually
+// spawn an engine. So the hook is two thread-local loads and a branch:
+// engine bound → forward to its scheduler; otherwise return.
+#include "platform/sim_point.h"
+
+#include "sim/scenario/engine.h"
+
+namespace loren::scenario::detail {
+
+namespace {
+thread_local ScenarioEngine* tls_engine = nullptr;
+thread_local unsigned tls_worker = 0xFFFFFFFFu;
+}  // namespace
+
+bool engine_active() noexcept { return tls_engine != nullptr; }
+
+void sim_point_hit(const char* tag) noexcept {
+  if (ScenarioEngine* e = tls_engine) e->sim_point(tag);
+}
+
+void bind_worker(ScenarioEngine* engine, unsigned worker_id) noexcept {
+  tls_engine = engine;
+  tls_worker = worker_id;
+}
+
+ScenarioEngine* current_engine() noexcept { return tls_engine; }
+
+unsigned current_worker() noexcept { return tls_worker; }
+
+}  // namespace loren::scenario::detail

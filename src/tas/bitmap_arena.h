@@ -48,6 +48,7 @@
 
 #include "platform/bit.h"
 #include "platform/cacheline.h"
+#include "platform/sim_point.h"
 #include "tas/direct_env.h"
 #include "tas/tas_arena.h"
 
@@ -99,6 +100,7 @@ class BitmapArena {
     WordSlot& s = slot(i / kBitsPerWord);
     ensure_fresh(s, e);
     const std::uint64_t bit = std::uint64_t{1} << (i % kBitsPerWord);
+    LOREN_SIM_POINT("bitmap.tas");
     return (s.bits.fetch_or(bit, std::memory_order_acq_rel) & bit) == 0;
   }
 
@@ -138,6 +140,7 @@ class BitmapArena {
     WordSlot& s = slot(i / kBitsPerWord);
     if (s.gen.load(std::memory_order_acquire) != e) return false;
     const std::uint64_t bit = std::uint64_t{1} << (i % kBitsPerWord);
+    LOREN_SIM_POINT("bitmap.release");
     return (s.bits.fetch_and(~bit, std::memory_order_acq_rel) & bit) != 0;
   }
 
@@ -161,6 +164,10 @@ class BitmapArena {
       if (free == 0) return -1;
       const int b = countr_zero_u64(free);
       const std::uint64_t bit = std::uint64_t{1} << b;
+      // The snapshot->fetch_or race window: a rival claims the chosen
+      // bit between the mask read and the RMW (the word-claim storm
+      // scenario schedules exactly this).
+      LOREN_SIM_POINT("bitmap.word.claim");
       const std::uint64_t old = s.bits.fetch_or(bit, std::memory_order_acq_rel);
       if ((old & bit) == 0) {
         return static_cast<std::int64_t>(w * kBitsPerWord +
@@ -198,6 +205,7 @@ class BitmapArena {
             lowest_n_bits(free, static_cast<unsigned>(
                                     k - got < kBitsPerWord ? k - got
                                                            : kBitsPerWord));
+        LOREN_SIM_POINT("bitmap.run.word");
         const std::uint64_t old =
             s.bits.fetch_or(want, std::memory_order_acq_rel);
         std::uint64_t won = want & ~old;  // bits this RMW flipped 0 -> 1
@@ -277,11 +285,19 @@ class BitmapArena {
     std::uint64_t g = s.gen.load(std::memory_order_acquire);
     while (g != e) {
       if (g == (e | 1)) {  // another thread is mid-refresh: wait it out
+        // Under a serialized schedule the refresher may be suspended
+        // exactly between its two stores; yielding here lets the
+        // scheduler run it instead of spinning forever.
+        LOREN_SIM_POINT("bitmap.refresh.wait");
         g = s.gen.load(std::memory_order_acquire);
         continue;
       }
       if (s.gen.compare_exchange_weak(g, e | 1, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        // CAS won, marker published, zero + fresh stamp still pending —
+        // the widest the refresh race ever opens; stalling here makes
+        // every concurrent toucher sit in the wait loop above.
+        LOREN_SIM_POINT("bitmap.refresh.zero");
         s.bits.store(0, std::memory_order_relaxed);
         s.gen.store(e, std::memory_order_release);
         return;

@@ -48,6 +48,7 @@
 #include <new>
 
 #include "platform/cacheline.h"
+#include "platform/sim_point.h"
 #include "tas/direct_env.h"
 
 namespace loren {
@@ -82,6 +83,7 @@ class TasArena {
   /// caller per (cell, epoch) ever wins. Bounds-unchecked: i < size().
   bool test_and_set(std::uint64_t i) {
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    LOREN_SIM_POINT("tas.claim");
     return cell(i).exchange(e, std::memory_order_acq_rel) != e;
   }
 
@@ -110,6 +112,7 @@ class TasArena {
   /// succeed. Safe from any thread, wait-free, never blocks.
   bool try_release(std::uint64_t i) {
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    LOREN_SIM_POINT("tas.release");
     return cell(i).exchange(0, std::memory_order_acq_rel) == e;
   }
 
@@ -129,6 +132,9 @@ class TasArena {
     for (std::uint64_t i = begin; i < end && got < k; ++i) {
       std::atomic<std::uint64_t>& c = cell(i);
       if (c.load(std::memory_order_acquire) == e) continue;  // taken
+      // The load-before-RMW window: a rival can win the free-looking
+      // cell between the check and the exchange.
+      LOREN_SIM_POINT("tas.run.claim");
       if (c.exchange(e, std::memory_order_acq_rel) != e) out[got++] = i;
     }
     return got;

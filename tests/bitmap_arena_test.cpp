@@ -16,6 +16,7 @@
 #include "renaming/service.h"
 #include "tas/arena_segment.h"
 #include "tas/bitmap_arena.h"
+#include "test_seed.h"
 
 namespace loren {
 namespace {
@@ -300,6 +301,10 @@ TEST(BitmapService, NameStashInteropUnderChurn) {
   RenamingServiceOptions opts;
   opts.arena_kind = ArenaKind::kBitmap;
   opts.name_cache = true;
+  // The service's internal probe RNG streams are this test's only
+  // randomness: log/override the seed they all derive from.
+  opts.seed = test::stress_seed("BitmapService.NameStashInteropUnderChurn",
+                                opts.seed);
   RenamingService service(1024, opts);
   std::atomic<bool> failed{false};
   std::vector<std::thread> pool;
@@ -336,6 +341,8 @@ TEST(BitmapService, NameStashInteropUnderChurn) {
 TEST(BitmapElastic, GrowShrinkReclaimOnBitmapSubstrate) {
   ElasticOptions opts;
   opts.arena_kind = ArenaKind::kBitmap;
+  opts.seed = test::stress_seed("BitmapElastic.GrowShrinkReclaimOnBitmapSubstrate",
+                                opts.seed);
   opts.min_holders = 64;
   opts.max_holders = 4096;
   opts.name_cache = false;

@@ -19,6 +19,7 @@
 
 #include "elastic/elastic_service.h"
 #include "platform/rng.h"
+#include "test_seed.h"
 
 namespace loren {
 namespace {
@@ -247,6 +248,8 @@ TEST(ElasticStress, ConcurrentBatchesStayUniqueAcrossResizes) {
   opts.auto_shrink = true;  // exercise resize churn under batches too
   ElasticRenamingService svc(64, opts);
 
+  const std::uint64_t seed = test::stress_seed(
+      "ElasticStress.ConcurrentBatchesStayUniqueAcrossResizes", 0xBA7C8);
   NameLedger ledger(1u << 20);
   std::atomic<std::uint64_t> uniqueness_violations{0};
   std::atomic<std::uint64_t> validity_violations{0};
@@ -255,8 +258,8 @@ TEST(ElasticStress, ConcurrentBatchesStayUniqueAcrossResizes) {
   std::vector<std::thread> workers;
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&, t] {
-      Xoshiro256 rng(0xBA7C8 + static_cast<std::uint64_t>(t));
+    workers.emplace_back([&, t, seed] {
+      Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
       std::vector<Name> held;
       Name batch[kMaxBatch];
       for (int i = 0; i < kItersPerThread; ++i) {
@@ -333,11 +336,13 @@ TEST(ElasticStress, BurstDrainKeepsNamesUniqueAndValid) {
   std::atomic<std::uint64_t> out_of_range{0};
   std::atomic<std::uint64_t> total_acquired{0};
 
+  const std::uint64_t seed = test::stress_seed(
+      "ElasticStress.BurstDrainKeepsNamesUniqueAndValid", 0xACE0);
   std::vector<std::thread> workers;
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&, t] {
-      Xoshiro256 rng(0xACE0 + static_cast<std::uint64_t>(t));
+    workers.emplace_back([&, t, seed] {
+      Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
       std::vector<Name> held;
       held.reserve(kBurstHold + 1);
       auto release_one = [&](std::size_t victim) {

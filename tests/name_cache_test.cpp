@@ -27,6 +27,7 @@
 
 #include "elastic/elastic_service.h"
 #include "platform/rng.h"
+#include "test_seed.h"
 #include "renaming/service.h"
 #include "renaming/thread_ctx.h"
 
@@ -288,10 +289,12 @@ TEST(NameCacheStress, ConcurrentHandoffKeepsNamesUnique) {
   for (auto& s : slots) s.store(-1);
   std::atomic<std::uint64_t> violations{0};
 
+  const std::uint64_t seed = test::stress_seed(
+      "NameCacheStress.ConcurrentHandoffKeepsNamesUnique", 0x44AD0FF);
   std::vector<std::thread> pool;
   for (int t = 0; t < kThreads; ++t) {
-    pool.emplace_back([&, t] {
-      Xoshiro256 rng(0x44AD0FF + t);
+    pool.emplace_back([&, t, seed] {
+      Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
       for (int i = 0; i < kIters; ++i) {
         const Name mine = service.acquire();
         if (mine < 0) continue;
@@ -391,10 +394,12 @@ TEST(ElasticNameCache, ShrinkStressKeepsStashedNamesUnique) {
   std::atomic<std::uint64_t> violations{0};
   std::atomic<bool> stop{false};
 
+  const std::uint64_t seed = test::stress_seed(
+      "ElasticNameCache.ShrinkStressKeepsStashedNamesUnique", 0xE1A57);
   std::vector<std::thread> pool;
   for (int t = 0; t < kThreads; ++t) {
-    pool.emplace_back([&, t] {
-      Xoshiro256 rng(0xE1A57 + t);
+    pool.emplace_back([&, t, seed] {
+      Xoshiro256 rng(seed + static_cast<std::uint64_t>(t));
       std::vector<Name> held;
       for (int i = 0; i < kIters; ++i) {
         if (held.size() < 32 && rng.below(2) == 0) {
@@ -422,8 +427,8 @@ TEST(ElasticNameCache, ShrinkStressKeepsStashedNamesUnique) {
   }
   // Resize churn: alternate grows and shrinks while the workers run, so
   // stashes are repeatedly invalidated mid-flight.
-  std::thread resizer([&] {
-    Xoshiro256 rng(0x5121E);
+  std::thread resizer([&, seed] {
+    Xoshiro256 rng(mix_seed(seed, 0x5121E));
     for (int i = 0; i < 200 && !stop.load(); ++i) {
       if (rng.below(2) == 0) {
         svc.grow();

@@ -1,0 +1,646 @@
+// Deterministic fault-injection scenarios over the live service stack.
+//
+// Every test here drives the *real* production objects (BitmapArena,
+// ShardGroup, ElasticRenamingService — same code, same atomics) under
+// the ScenarioEngine's seeded cooperative scheduler, with fault knobs
+// (stalls, parks, dropped releases) aimed at specific LOREN_SIM_POINT
+// tags. A failing test prints its seed and the full schedule trace, so
+// the exact interleaving replays by re-running with that seed. These
+// tests only build under -DLOREN_SIM (CMakeLists excludes them
+// otherwise): without the instrumentation the tags they stall on never
+// fire.
+//
+// The last section pins the three historical regression repros
+// (spurious grow from sweep wins, hw-detection faults, stale
+// double-release ABA) onto fixed (seed, preemption-bound) schedules:
+// revert the corresponding fix and the pinned schedule fails.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "elastic/elastic_service.h"
+#include "renaming/service.h"
+#include "sim/scenario/engine.h"
+#include "sim/scenario/scenario.h"
+#include "tas/bitmap_arena.h"
+
+namespace loren {
+namespace {
+
+using scenario::kAnyWorker;
+using scenario::Scenario;
+using scenario::ScenarioEngine;
+using scenario::StallRule;
+using Worker = ScenarioEngine::Worker;
+using sim::Name;
+
+// Failure recorder shared by the workload bodies. gtest assertions must
+// not run on worker threads (ASSERT_* would longjmp out of the engine's
+// scheduling protocol), so bodies record violations here and the main
+// thread asserts once, printing the seed and schedule trace for replay.
+// The mutex is never contended during the serialized phase (one worker
+// runs at a time and no sim point sits inside these critical sections),
+// so recording does not perturb the schedule.
+struct Checks {
+  std::mutex mu;
+  std::vector<std::string> failures;
+
+  void fail(std::string msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    failures.push_back(std::move(msg));
+  }
+  [[nodiscard]] bool ok() {
+    std::lock_guard<std::mutex> lock(mu);
+    return failures.empty();
+  }
+  [[nodiscard]] std::string summary() {
+    std::lock_guard<std::mutex> lock(mu);
+    std::ostringstream os;
+    for (const std::string& f : failures) os << "  " << f << "\n";
+    return os.str();
+  }
+};
+
+// The standing cross-worker invariant: no two live names are ever equal.
+// Workers insert on acquire and erase *before* release (the engine may
+// switch mid-release, and the freed cell may be re-acquired before the
+// releasing worker runs again — erasing late would report that legal
+// recycling as a duplicate).
+struct HeldSet {
+  std::mutex mu;
+  std::set<Name> names;
+
+  bool add(Name n) {
+    std::lock_guard<std::mutex> lock(mu);
+    return names.insert(n).second;
+  }
+  void remove(Name n) {
+    std::lock_guard<std::mutex> lock(mu);
+    names.erase(n);
+  }
+};
+
+ElasticOptions base_options() {
+  ElasticOptions opts;
+  opts.epsilon = 0.5;
+  opts.min_holders = 64;
+  opts.max_holders = 4096;
+  // Cache off by default: scenario bodies want every acquisition to walk
+  // the instrumented shared paths, and thread-local stashes would leak
+  // their contents when the worker threads exit.
+  opts.name_cache = false;
+  return opts;
+}
+
+// Acquire/release churn against the elastic service: the workhorse body.
+// All randomness comes from Worker::rng(), so the op mix replays with
+// the schedule. Releases everything it still holds before returning.
+ScenarioEngine::Body churner(ElasticRenamingService* svc, Checks* checks,
+                             HeldSet* held, int ops, std::size_t hold_max) {
+  return [=](Worker& w) {
+    std::vector<Name> mine;
+    for (int i = 0; i < ops; ++i) {
+      w.yield("churn.op");
+      if (mine.size() < hold_max && (mine.empty() || w.rng().below(2) == 0)) {
+        const Name n = svc->acquire();
+        if (n < 0) continue;  // transient exhaustion while resizing
+        if (!held->add(n)) {
+          checks->fail("duplicate live name " + std::to_string(n) +
+                       " acquired by w" + std::to_string(w.id()));
+        }
+        mine.push_back(n);
+      } else {
+        const Name n = mine.back();
+        mine.pop_back();
+        held->remove(n);
+        if (!svc->release(n)) {
+          checks->fail("release of held name " + std::to_string(n) +
+                       " failed on w" + std::to_string(w.id()));
+        }
+      }
+    }
+    for (const Name n : mine) {
+      held->remove(n);
+      if (!svc->release(n)) {
+        checks->fail("final release of " + std::to_string(n) + " failed on w" +
+                     std::to_string(w.id()));
+      }
+    }
+  };
+}
+
+// Post-run quiesce: with every name released and every worker joined,
+// the service must drain to exactly the live group and zero live names.
+void expect_quiesced(ElasticRenamingService& svc) {
+  EXPECT_EQ(svc.names_live(), 0u) << "names leaked past quiesce";
+  svc.reclaim();  // stage A unlinks, stage B frees (quiescence immediate)
+  svc.reclaim();
+  EXPECT_EQ(svc.groups_in_flight(), 1u)
+      << "retired generations survived quiesce";
+}
+
+// ------------------------------------------------------- determinism ----
+
+std::string churn_trace(std::uint64_t seed) {
+  ElasticRenamingService svc(64, base_options());
+  Checks checks;
+  HeldSet held;
+  Scenario scn;
+  scn.seed = seed;
+  scn.preempt_every = 1;
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({churner(&svc, &checks, &held, 30, 6),
+                             churner(&svc, &checks, &held, 30, 6),
+                             churner(&svc, &checks, &held, 30, 6)});
+  eng.finish();
+  EXPECT_TRUE(done) << "livelock guard tripped, seed " << seed;
+  EXPECT_TRUE(checks.ok()) << checks.summary() << "seed " << seed << "\n"
+                           << eng.trace();
+  expect_quiesced(svc);
+  return eng.trace();
+}
+
+TEST(ScenarioDeterminism, SameSeedSameSchedule) {
+  const std::string first = churn_trace(0xD5EEDu);
+  const std::string second = churn_trace(0xD5EEDu);
+  ASSERT_FALSE(first.empty());
+  // The whole engine contract: identical (bodies, scenario) means a
+  // byte-identical schedule trace, which is what makes seed replay exact.
+  EXPECT_EQ(first, second) << "same seed produced different schedules";
+  EXPECT_NE(first, churn_trace(0xD5EEEu))
+      << "distinct seeds explored the same schedule";
+}
+
+// --------------------------------------------------- stall at the swap ----
+
+TEST(ScenarioFault, StallAtGroupSwapPublish) {
+  ElasticOptions opts = base_options();
+  opts.auto_grow = false;  // the resizer worker drives growth explicitly
+  ElasticRenamingService svc(64, opts);
+  Checks checks;
+  HeldSet held;
+
+  Scenario scn;
+  scn.seed = 0x5774A11u;
+  scn.preempt_every = 1;
+  // Freeze the resizer mid-publication: the new group's mirrors are about
+  // to be stored while churners keep acquiring from (and releasing into)
+  // whatever side of the swap their loads observe.
+  scn.stalls.push_back(StallRule{"elastic.swap.publish", 2, 0, 300, 1});
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run(
+      {churner(&svc, &checks, &held, 40, 8),
+       churner(&svc, &checks, &held, 40, 8), [&svc](Worker& w) {
+         w.yield("resize.grow");
+         svc.resize(128);
+         w.yield("resize.reclaim");
+         svc.reclaim();
+       }});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_GE(eng.stalls_fired(), 1u) << "the swap-publish stall never fired";
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  EXPECT_EQ(svc.holders(), 128u);
+  expect_quiesced(svc);
+}
+
+// --------------------------------------------------- grow/shrink storm ----
+
+TEST(ScenarioFault, GrowShrinkStorm) {
+  ElasticOptions opts = base_options();
+  opts.auto_grow = false;
+  ElasticRenamingService svc(64, opts);
+  Checks checks;
+  HeldSet held;
+
+  Scenario scn;
+  scn.seed = 0x570A4u;
+  scn.preempt_every = 2;
+  // Hold each generation swap open for a while, every other time: churn
+  // keeps running against half-published resizes in both directions.
+  scn.stalls.push_back(StallRule{"elastic.swap.retire", kAnyWorker, 1, 80, 2});
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run(
+      {churner(&svc, &checks, &held, 50, 8),
+       churner(&svc, &checks, &held, 50, 8), [&svc](Worker& w) {
+         for (int i = 0; i < 6; ++i) {
+           w.yield("storm.resize");
+           svc.resize(i % 2 == 0 ? 256 : 64);
+           w.yield("storm.reclaim");
+           svc.reclaim();
+         }
+       }});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  // Capacity bound after the storm's final shrink: back at the floor.
+  EXPECT_EQ(svc.holders(), 64u);
+  EXPECT_GE(svc.shrink_events() + svc.grow_events(), 6u);
+  expect_quiesced(svc);
+}
+
+// ----------------------------------------------------- dropped release ----
+
+TEST(ScenarioFault, DroppedReleasesLeakExactlyAndDrainAfterRepair) {
+  ElasticRenamingService svc(64, base_options());
+  Checks checks;
+  HeldSet held;
+  std::mutex leaked_mu;
+  std::vector<Name> leaked;
+
+  Scenario scn;
+  scn.seed = 0xD40Bu;
+  scn.preempt_every = 1;
+  scn.drop_release_every = 3;  // every third release call leaks instead
+  scn.drop_release_limit = 5;
+
+  auto leaky = [&](Worker& w) {
+    std::vector<Name> mine;
+    for (int i = 0; i < 30; ++i) {
+      w.yield("leaky.op");
+      if (mine.size() < 6 && (mine.empty() || w.rng().below(2) == 0)) {
+        const Name n = svc.acquire();
+        if (n < 0) continue;
+        if (!held.add(n)) {
+          checks.fail("duplicate live name " + std::to_string(n));
+        }
+        mine.push_back(n);
+      } else {
+        const Name n = mine.back();
+        mine.pop_back();
+        held.remove(n);
+        if (w.drop_release()) {
+          // Crashed-holder model: the name is simply never released.
+          std::lock_guard<std::mutex> lock(leaked_mu);
+          leaked.push_back(n);
+        } else if (!svc.release(n)) {
+          checks.fail("release of held name " + std::to_string(n) + " failed");
+        }
+      }
+    }
+    for (const Name n : mine) {
+      held.remove(n);
+      if (!svc.release(n)) checks.fail("final release failed");
+    }
+  };
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({leaky, leaky});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  EXPECT_EQ(eng.drops(), leaked.size());
+  EXPECT_GE(eng.drops(), 1u) << "the drop knob never fired";
+  // Leak accounting is exact: precisely the dropped names are still live.
+  EXPECT_EQ(svc.names_live(), leaked.size());
+  // The leaked names are still valid (their cells stayed taken): a repair
+  // pass releases them and the service drains completely.
+  for (const Name n : leaked) {
+    EXPECT_TRUE(svc.release(n)) << "leaked name " << n << " went invalid";
+  }
+  expect_quiesced(svc);
+}
+
+// ------------------------------------------------------- crash mid-pin ----
+
+TEST(ScenarioFault, CrashWhilePinnedBlocksReclamation) {
+  ElasticOptions opts = base_options();
+  opts.auto_grow = false;
+  ElasticRenamingService svc(64, opts);
+  Checks checks;
+
+  Scenario scn;
+  scn.seed = 0xC4A54u;
+  // Park worker 0 at its very first epoch pin: a thread that crashed (or
+  // was descheduled indefinitely) inside the read-side critical section.
+  scn.stalls.push_back(StallRule{"epoch.pin", 0, 0, 0, 1});
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({[&](Worker& w) {
+    w.yield("victim.acquire");
+    const Name n = svc.acquire();  // parks inside, pinned
+    if (n < 0) {
+      checks.fail("victim acquire failed after resume");
+      return;
+    }
+    if (!svc.release(n)) checks.fail("victim release failed after resume");
+  }});
+
+  // run() returned with the victim still parked inside its pin.
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  ASSERT_EQ(eng.parked(), 1u) << "the crash-park never fired\n" << eng.trace();
+
+  // Retire the boot generation while the crashed thread stays pinned: the
+  // epoch protocol must refuse to reclaim it — the parked thread's pin
+  // predates the retire advance, so quiescence cannot be reached.
+  EXPECT_TRUE(svc.resize(128));
+  svc.reclaim();
+  svc.reclaim();
+  EXPECT_EQ(svc.reclaimed_groups(), 0u)
+      << "a group was reclaimed while a crashed thread was pinned in it";
+  EXPECT_EQ(svc.groups_in_flight(), 2u);
+
+  // "Reboot" the crashed thread: it resumes, finishes its acquire/release
+  // against whichever group it pinned, and exits; reclamation then works.
+  eng.finish();
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  EXPECT_EQ(svc.names_live(), 0u);
+  svc.reclaim();
+  svc.reclaim();
+  EXPECT_GE(svc.reclaimed_groups(), 1u)
+      << "reclamation still stuck after the pinned thread resumed";
+  EXPECT_EQ(svc.groups_in_flight(), 1u);
+}
+
+// ------------------------------------------------ word-claim race storm ----
+
+TEST(ScenarioFault, BitmapWordClaimRaceStorm) {
+  // One 64-cell word: every claim fights over the same free mask, and the
+  // stall rule suspends claimers exactly between their mask snapshot and
+  // their fetch_or — the lost-race retry path runs constantly.
+  BitmapArena arena(64);
+  Checks checks;
+  // Serialized-phase-only state: owner[c] is the worker currently holding
+  // cell c, -1 when free. The engine's one-runner-at-a-time discipline is
+  // what makes plain (unsynchronized) access to it sound.
+  std::vector<int> owner(64, -1);
+
+  Scenario scn;
+  scn.seed = 0xB17Bu;
+  scn.preempt_every = 1;
+  scn.stalls.push_back(StallRule{"bitmap.word.claim", kAnyWorker, 2, 4, 0});
+
+  auto body = [&](Worker& w) {
+    std::vector<std::int64_t> mine;
+    for (int i = 0; i < 40; ++i) {
+      w.yield("bitmap.op");
+      if (mine.size() < 12 && (mine.empty() || w.rng().below(3) != 0)) {
+        const std::uint64_t hint = w.rng().below(64);
+        const std::int64_t c = arena.try_claim_in_word(hint, 0, 64);
+        if (c < 0) continue;
+        if (owner[static_cast<std::size_t>(c)] != -1) {
+          checks.fail("cell " + std::to_string(c) + " double-claimed by w" +
+                      std::to_string(w.id()) + " and w" +
+                      std::to_string(owner[static_cast<std::size_t>(c)]));
+        }
+        owner[static_cast<std::size_t>(c)] = static_cast<int>(w.id());
+        mine.push_back(c);
+      } else {
+        const std::int64_t c = mine.back();
+        mine.pop_back();
+        owner[static_cast<std::size_t>(c)] = -1;
+        if (!arena.try_release(static_cast<std::uint64_t>(c))) {
+          checks.fail("release of held cell " + std::to_string(c) + " failed");
+        }
+      }
+    }
+    for (const std::int64_t c : mine) {
+      owner[static_cast<std::size_t>(c)] = -1;
+      if (!arena.try_release(static_cast<std::uint64_t>(c))) {
+        checks.fail("final release of cell " + std::to_string(c) + " failed");
+      }
+    }
+  };
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({body, body, body});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_GE(eng.stalls_fired(), 1u);
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  // Everything was released: the word must read entirely free again.
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    EXPECT_EQ(arena.read(c), 0u) << "cell " << c << " leaked";
+  }
+}
+
+// --------------------------------------------- lazy-refresh race storm ----
+
+TEST(ScenarioFault, BitmapRefreshStormKeepsGenerationsConsistent) {
+  // Dirty two words, then reset(): every word goes stale and the first
+  // toucher of each must win the refresh CAS, zero the bits, and publish
+  // the fresh stamp. The stall rule suspends a refresh winner *between*
+  // the CAS and the zeroing stores — the widest window of the protocol —
+  // while rivals spin on the in-progress marker.
+  BitmapArena arena(128);
+  for (std::uint64_t i = 0; i < 128; i += 3) arena.test_and_set(i);
+  arena.reset();  // quiescent: no engine running yet
+
+  Checks checks;
+  std::vector<int> owner(128, -1);
+
+  Scenario scn;
+  scn.seed = 0x4EF4E54u;
+  scn.preempt_every = 1;
+  scn.stalls.push_back(StallRule{"bitmap.refresh.zero", kAnyWorker, 0, 60, 1});
+
+  auto body = [&](Worker& w) {
+    for (int i = 0; i < 30; ++i) {
+      w.yield("refresh.op");
+      const std::uint64_t x = w.rng().below(128);
+      if (arena.test_and_set(x)) {
+        // Post-reset the namespace started all-free: a win must never
+        // land on a cell someone else claimed since the reset (the
+        // pre-reset bits were logically discarded).
+        if (owner[x] != -1) {
+          checks.fail("cell " + std::to_string(x) +
+                      " won twice after reset (stale bits resurrected)");
+        }
+        owner[x] = static_cast<int>(w.id());
+      } else if (owner[x] == -1) {
+        checks.fail("cell " + std::to_string(x) +
+                    " rejected a claim nobody holds (lost by refresh)");
+      }
+    }
+  };
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({body, body, body});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_GE(eng.stalls_fired(), 1u) << "the refresh stall never fired";
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  // Sidecar consistency: the refreshed words' occupancy must agree
+  // exactly with the owner ledger — no resurrected pre-reset bit, no
+  // dropped claim.
+  for (std::uint64_t c = 0; c < 128; ++c) {
+    EXPECT_EQ(arena.read(c), owner[c] == -1 ? 0u : 1u)
+        << "cell " << c << " disagrees with the claim ledger";
+  }
+}
+
+// ----------------------------------- pinned regression repro schedules ----
+//
+// The three historical bugs, replayed on fixed (seed, preemption-bound)
+// schedules through the instrumented stack. Each fails again if its fix
+// is reverted: the schedule is pinned, so the repro is exact, not
+// probabilistic.
+
+TEST(ScenarioPinnedRegression, SweepWinsDoNotAccumulateIntoSpuriousGrow) {
+  ElasticOptions opts = base_options();
+  opts.auto_grow = true;
+  opts.grow_miss_threshold = 4;
+  ElasticRenamingService svc(64, opts);
+  Checks checks;
+
+  Scenario scn;
+  scn.seed = 0x9E0571u;  // pinned: replay coordinates of the repro
+  scn.preempt_every = 1;
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({[&](Worker& w) {
+    // Fill every cell of the live group, then churn one cell through the
+    // sweep backstop: each re-acquisition is *served* (by the sweep), so
+    // the miss streak must never reach grow_miss_threshold. Reverting the
+    // sweep-win streak reset turns this into four misses and a spurious
+    // doubling.
+    const std::uint64_t cells =
+        svc.capacity() >> ElasticRenamingService::kTagBits;
+    std::vector<Name> mine;
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      w.yield("fill");
+      const Name n = svc.acquire();
+      if (n < 0) {
+        checks.fail("group exhausted early at " + std::to_string(i));
+        return;
+      }
+      mine.push_back(n);
+    }
+    for (int i = 0; i < 100; ++i) {
+      w.yield("churn");
+      if (!svc.release(mine.back())) {
+        checks.fail("churn release failed");
+        return;
+      }
+      mine.pop_back();
+      const Name n = svc.acquire();
+      if (n < 0) {
+        checks.fail("saturated re-acquire failed at " + std::to_string(i));
+        return;
+      }
+      mine.push_back(n);
+    }
+    for (const Name n : mine) {
+      if (!svc.release(n)) checks.fail("drain release failed");
+    }
+  }});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+  EXPECT_EQ(svc.grow_events(), 0u)
+      << "sweep-served acquisitions accumulated into a spurious grow\n"
+      << eng.trace();
+  EXPECT_EQ(svc.holders(), 64u);
+  EXPECT_EQ(svc.generation(), 1u);
+}
+
+TEST(ScenarioPinnedRegression, ZeroHardwareConcurrencyShardPolicy) {
+  // The hw-detection fault: hardware_concurrency() == 0 ("could not be
+  // determined") must shard like hw == 1, not disable dispersion. Pure
+  // policy, but asserted from an engine worker so the check rides the
+  // same pinned-schedule harness as its siblings.
+  Checks checks;
+  Scenario scn;
+  scn.seed = 0x54A4D5u;
+  scn.preempt_every = 1;
+
+  ScenarioEngine eng(scn);
+  eng.run({[&](Worker& w) {
+    w.yield("policy");
+    BatchLayoutParams params;
+    params.epsilon = 0.5;
+    const std::uint64_t s0 = auto_shard_count(1u << 14, params, 0);
+    const std::uint64_t s1 = auto_shard_count(1u << 14, params, 1);
+    if (s0 < 1) checks.fail("hw=0 produced zero shards");
+    if (s0 != s1) {
+      checks.fail("hw=0 sharded differently from hw=1: " + std::to_string(s0) +
+                  " vs " + std::to_string(s1));
+    }
+    if ((s0 & (s0 - 1)) != 0) checks.fail("shard count not a power of two");
+  }});
+  eng.finish();
+  EXPECT_TRUE(checks.ok()) << checks.summary() << eng.trace();
+}
+
+TEST(ScenarioPinnedRegression, StaleReleaseFromRecycledTagIsRejected) {
+  ElasticOptions opts = base_options();
+  opts.debug_release_guard = true;
+  ElasticRenamingService svc(64, opts);
+  Checks checks;
+
+  Scenario scn;
+  scn.seed = 0x57A1Eu;
+  scn.preempt_every = 1;
+  // Hold the recycling swap open across a few steps: the stale release in
+  // this schedule validates its stamp against a group mid-publication.
+  scn.stalls.push_back(
+      StallRule{"elastic.swap.publish", kAnyWorker, 1, 40, 1});
+
+  ScenarioEngine eng(scn);
+  const bool done = eng.run({[&](Worker& w) {
+    // The ABA setup from elastic_regression_test, on a pinned schedule: a
+    // stale copy of a generation-1 name survives tag 0's recycling; its
+    // release must be rejected by the generation stamp. Reverting the
+    // stamp check frees a victim's cell instead.
+    w.yield("stale.setup");
+    const Name stale = svc.acquire();
+    if (stale < 0 || !svc.release(stale)) {
+      checks.fail("ABA setup acquire/release failed");
+      return;
+    }
+    w.yield("stale.recycle");
+    if (!svc.resize(128)) checks.fail("resize(128) refused");
+    svc.reclaim();
+    if (!svc.resize(64)) checks.fail("resize(64) refused");
+    const Name probe = svc.acquire();
+    if (probe < 0 ||
+        (static_cast<std::uint64_t>(probe) &
+         (ElasticRenamingService::kMaxGroups - 1)) != 0) {
+      checks.fail("tag 0 was not recycled — ABA setup did not materialize");
+      return;
+    }
+    svc.release(probe);
+    w.yield("stale.fill");
+    const std::uint64_t cells =
+        svc.capacity() >> ElasticRenamingService::kTagBits;
+    std::vector<Name> victims;
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      const Name n = svc.acquire();
+      if (n < 0) {
+        checks.fail("victim fill exhausted early");
+        return;
+      }
+      victims.push_back(n);
+    }
+    w.yield("stale.release");
+    if (svc.release(stale)) {
+      checks.fail("stale release from a reclaimed generation was accepted");
+    }
+    for (const Name n : victims) {
+      if (!svc.release(n)) {
+        checks.fail("victim lost its name to the stale release");
+      }
+    }
+  }});
+  eng.finish();
+
+  EXPECT_TRUE(done) << "livelock guard tripped\n" << eng.trace();
+  EXPECT_TRUE(checks.ok()) << checks.summary() << "seed " << scn.seed << "\n"
+                           << eng.trace();
+}
+
+}  // namespace
+}  // namespace loren

@@ -1,0 +1,157 @@
+// The bounded sweep-retry budget (satellite of the scenario-engine PR):
+// both services' deterministic sweep backstops accept a per-acquisition
+// shard budget, fail fast with the explicit kSweepBudgetExhausted code
+// when it runs out, count the event — and, critically, never let a
+// budget-truncated scan masquerade as exhaustion pressure (no miss
+// streak, no grow): a bounded scan giving up says nothing about how full
+// the namespace is.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "elastic/elastic_service.h"
+#include "renaming/service.h"
+
+namespace loren {
+namespace {
+
+using sim::Name;
+
+TEST(SweepBudget, RenamingServiceFailsFastWithExplicitCode) {
+  RenamingServiceOptions opts;
+  opts.shards = 4;
+  opts.name_cache = false;
+  opts.sweep_retry_budget = 1;  // sweep at most one shard per acquisition
+  RenamingService svc(256, opts);
+
+  // Fill until the bounded service refuses. The walk may give up early
+  // (free cells in un-swept shards are unreachable once the schedule
+  // misses), but the refusal must always carry the explicit budget code,
+  // never be mistaken for plain -1 exhaustion.
+  std::vector<Name> held;
+  for (std::uint64_t i = 0; i < svc.capacity(); ++i) {
+    const Name n = svc.acquire();
+    if (n < 0) {
+      EXPECT_EQ(n, RenamingService::kSweepBudgetExhausted)
+          << "bounded sweep failed without the explicit code at " << i;
+      break;
+    }
+    held.push_back(n);
+  }
+  // Whether the loop broke early or ran the namespace truly full, the
+  // next acquisition's sweep is truncated (1 of 4 shards) and must
+  // report the budget, not exhaustion.
+  EXPECT_EQ(svc.acquire(), RenamingService::kSweepBudgetExhausted);
+  EXPECT_GE(svc.sweep_budget_exhausted(), 1u);
+
+  for (const Name n : held) EXPECT_TRUE(svc.release(n));
+  EXPECT_EQ(svc.names_live(), 0u);
+  // With the namespace drained the probe schedule wins again: the budget
+  // only bounds the backstop, not steady-state service.
+  const Name again = svc.acquire();
+  EXPECT_GE(again, 0);
+  EXPECT_TRUE(svc.release(again));
+}
+
+TEST(SweepBudget, RenamingServiceBatchShortfallCountsBudget) {
+  RenamingServiceOptions opts;
+  opts.shards = 4;
+  opts.name_cache = false;
+  opts.sweep_retry_budget = 1;
+  RenamingService svc(256, opts);
+
+  // Saturate via batches, then demand more: the shortfall's backstop
+  // sweep is budget-truncated and must be counted.
+  std::vector<Name> held(svc.capacity());
+  const std::uint64_t got = svc.acquire_many(svc.capacity(), held.data());
+  held.resize(got);
+  Name extra[8];
+  const std::uint64_t over = svc.acquire_many(8, extra);
+  if (over < 8) EXPECT_GE(svc.sweep_budget_exhausted(), 1u);
+  for (std::uint64_t i = 0; i < over; ++i) EXPECT_TRUE(svc.release(extra[i]));
+  for (const Name n : held) EXPECT_TRUE(svc.release(n));
+  EXPECT_EQ(svc.names_live(), 0u);
+}
+
+TEST(SweepBudget, ElasticTruncationIsNotExhaustionPressure) {
+  ElasticOptions opts;
+  opts.epsilon = 0.5;
+  opts.min_holders = 64;
+  opts.max_holders = 4096;
+  opts.shards = 4;
+  opts.name_cache = false;
+  opts.auto_grow = true;  // growth armed: truncation must still not fire it
+  opts.grow_miss_threshold = 1000000;  // streak can never legitimately grow
+  opts.sweep_retry_budget = 1;
+  ElasticRenamingService svc(64, opts);
+
+  std::vector<Name> held;
+  Name last = 0;
+  for (std::uint64_t i = 0; i <= svc.capacity(); ++i) {
+    last = svc.acquire();
+    if (last < 0) break;
+    held.push_back(last);
+  }
+  // The bounded walk gave up: explicit code, counted, and — the point of
+  // the discipline — no grow happened. A truncated scan feeding the grow
+  // path would reintroduce the spurious-grow bug.
+  EXPECT_EQ(last, ElasticRenamingService::kSweepBudgetExhausted);
+  EXPECT_GE(svc.sweep_budget_exhausted(), 1u);
+  EXPECT_EQ(svc.grow_events(), 0u)
+      << "a budget-truncated sweep was treated as exhaustion pressure";
+  EXPECT_EQ(svc.generation(), 1u);
+  EXPECT_EQ(svc.holders(), 64u);
+
+  for (const Name n : held) EXPECT_TRUE(svc.release(n));
+  EXPECT_EQ(svc.names_live(), 0u);
+}
+
+TEST(SweepBudget, ElasticBatchShortfallDoesNotGrow) {
+  ElasticOptions opts;
+  opts.epsilon = 0.5;
+  opts.min_holders = 64;
+  opts.max_holders = 4096;
+  opts.shards = 4;
+  opts.name_cache = false;
+  opts.auto_grow = true;
+  opts.grow_miss_threshold = 1000000;
+  opts.sweep_retry_budget = 1;
+  ElasticRenamingService svc(64, opts);
+
+  std::vector<Name> held(svc.capacity() + 8);
+  const std::uint64_t got = svc.acquire_many(held.size(), held.data());
+  held.resize(got);
+  // Demand exceeded capacity, so the batch fell short — through the
+  // truncated backstop, which must surface in the counter and must not
+  // have grown the namespace.
+  EXPECT_LT(got, svc.capacity() + 8);
+  EXPECT_GE(svc.sweep_budget_exhausted(), 1u);
+  EXPECT_EQ(svc.grow_events(), 0u);
+  EXPECT_EQ(svc.generation(), 1u);
+
+  EXPECT_EQ(svc.release_many(held.data(), held.size()), held.size());
+  EXPECT_EQ(svc.names_live(), 0u);
+}
+
+TEST(SweepBudget, ZeroBudgetKeepsTheHistoricalFullSweep) {
+  RenamingServiceOptions opts;
+  opts.shards = 4;
+  opts.name_cache = false;
+  opts.sweep_retry_budget = 0;  // unbounded: the pre-budget contract
+  RenamingService svc(256, opts);
+
+  std::vector<Name> held;
+  for (std::uint64_t i = 0; i < svc.capacity(); ++i) {
+    const Name n = svc.acquire();
+    ASSERT_GE(n, 0) << "unbounded sweep failed on a non-full namespace";
+    held.push_back(n);
+  }
+  // Truly full: plain exhaustion, not a budget report.
+  EXPECT_EQ(svc.acquire(), RenamingService::kExhausted);
+  EXPECT_EQ(svc.sweep_budget_exhausted(), 0u);
+  for (const Name n : held) EXPECT_TRUE(svc.release(n));
+}
+
+}  // namespace
+}  // namespace loren

@@ -1,0 +1,38 @@
+// Seed logging + env override for the randomized stress tests.
+//
+// Every stress test derives its RNG streams from one base seed obtained
+// here: by default the test's hard-coded value, overridable with
+// LOREN_TEST_SEED (any strtoull form — decimal or 0x-hex). The chosen
+// seed is printed on stdout at test start, so a CI failure is replayed
+// locally with
+//
+//   LOREN_TEST_SEED=0x<printed value> ctest -R <test> ...
+//
+// and the failing stream layout reproduces exactly. (The deterministic
+// scenario tests under -DLOREN_SIM don't use this: their seeds are part
+// of the Scenario and replay through the engine — see docs/testing.md.)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace loren::test {
+
+/// Resolves the base seed for `test_name`: LOREN_TEST_SEED if set and
+/// parseable, else `fallback`. Prints the replay line either way.
+inline std::uint64_t stress_seed(const char* test_name,
+                                 std::uint64_t fallback) {
+  std::uint64_t seed = fallback;
+  if (const char* env = std::getenv("LOREN_TEST_SEED")) {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(env, &end, 0);
+    if (end != env) seed = v;
+  }
+  std::printf("[ SEED     ] %s: 0x%llx (replay: LOREN_TEST_SEED=0x%llx)\n",
+              test_name, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+}  // namespace loren::test
