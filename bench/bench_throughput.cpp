@@ -75,6 +75,7 @@
 #include "renaming/batch_layout.h"
 #include "renaming/concurrent.h"
 #include "renaming/service.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -843,6 +844,19 @@ void bench_batch_scenarios(const std::string& vname, MakeFn make,
   }
 }
 
+// ------------------------------------------------------------- telemetry --
+
+/// One bench cell's metric export: the registry snapshot taken right
+/// after the run, keyed like a Result row. Feeds the JSON "metrics"
+/// block (nonzero counters, histogram count/mean/p50/p99) so a bench
+/// diff can compare probe-length distributions, not just items/sec.
+struct MetricRow {
+  std::string scenario;
+  std::string variant;
+  unsigned threads;
+  loren::telemetry::MetricsSnapshot snap;
+};
+
 // ------------------------------------------------------------------ json --
 std::string fmt1(double v) {
   char buf[64];
@@ -911,6 +925,7 @@ void write_json(const std::string& path, std::uint64_t n, double eps,
                 const std::vector<Result>& results,
                 const std::vector<std::pair<std::string, double>>& resets,
                 std::uint64_t reset_cells,
+                const std::vector<MetricRow>& metric_rows,
                 const std::vector<std::pair<std::string, double>>& derived) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -969,6 +984,41 @@ void write_json(const std::string& path, std::uint64_t n, double eps,
                  static_cast<unsigned long long>(reset_cells),
                  fmt1(resets[i].second).c_str(),
                  i + 1 < resets.size() ? "," : "");
+  }
+  // Registry snapshots from the telemetry-on bench cells. Compact on
+  // purpose — nonzero counters plus count/mean/p50/p99 per histogram
+  // (log2-bucket quantiles, reported as inclusive bucket upper edges) —
+  // so diffs can compare probe-length distributions without hauling 65
+  // buckets per histogram around. bench_diff.py reads this block for
+  // display only; it never thresholds on it.
+  std::fprintf(f, "  ],\n  \"metrics\": [\n");
+  for (std::size_t i = 0; i < metric_rows.size(); ++i) {
+    const MetricRow& mr = metric_rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"variant\": \"%s\", "
+                 "\"threads\": %u,\n     \"counters\": {",
+                 mr.scenario.c_str(), mr.variant.c_str(), mr.threads);
+    bool first = true;
+    for (const auto& c : mr.snap.counters) {
+      if (c.value == 0) continue;
+      std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ", c.name.c_str(),
+                   static_cast<unsigned long long>(c.value));
+      first = false;
+    }
+    std::fprintf(f, "},\n     \"histograms\": {");
+    first = true;
+    for (const auto& h : mr.snap.histograms) {
+      if (h.count == 0) continue;
+      std::fprintf(f,
+                   "%s\"%s\": {\"count\": %llu, \"mean\": %.1f, "
+                   "\"p50\": %llu, \"p99\": %llu}",
+                   first ? "" : ", ", h.name.c_str(),
+                   static_cast<unsigned long long>(h.count), h.mean(),
+                   static_cast<unsigned long long>(h.p50()),
+                   static_cast<unsigned long long>(h.p99()));
+      first = false;
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < metric_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"derived\": {\n");
   for (std::size_t i = 0; i < derived.size(); ++i) {
@@ -1178,6 +1228,78 @@ int main(int argc, char** argv) {
       },
       thread_counts, duration_ms, results, cache_stats);
 
+  // ---- telemetry overhead guard: detailed mode on the uncached hot path --
+  // The same uncached sharded service with and without an attached
+  // MetricsRegistry, back to back per thread count so run-order drift
+  // cancels. Name cache off on both sides: the stash would short-circuit
+  // most operations past the instrumented arena path and flatter the
+  // ratio. The attached-registry runs also export their registry
+  // snapshots as the JSON `metrics` block (probe-length / latency
+  // histograms, cache and sweep counters), and the 4-thread pair feeds
+  // the telemetry_overhead_at_4_threads derived key (acceptance:
+  // <= 1.05x, i.e. detailed mode costs at most 5% on this path).
+  std::vector<MetricRow> metric_rows;
+  {
+    auto make_service_tel = [n, eps, service_shards](
+                                loren::telemetry::MetricsRegistry* reg) {
+      loren::RenamingServiceOptions opts;
+      opts.epsilon = eps;
+      opts.shards = service_shards;
+      opts.arena_layout = ArenaLayout::kPadded;
+      opts.name_cache = false;
+      opts.telemetry.registry = reg;
+      return std::make_unique<loren::RenamingService>(n, opts);
+    };
+    for (unsigned threads : thread_counts) {
+      {
+        auto r = make_service_uncached(service_shards, ArenaLayout::kPadded);
+        results.push_back(run_threads(
+            "full-churn", "service-telemetry-off", threads, duration_ms,
+            [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+              churn_loop(*r, stop, c);
+            }));
+        print_row(results.back());
+      }
+      {
+        loren::telemetry::MetricsRegistry reg;
+        auto r = make_service_tel(&reg);
+        results.push_back(run_threads(
+            "full-churn", "service-telemetry-on", threads, duration_ms,
+            [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+              churn_loop(*r, stop, c);
+            }));
+        print_row(results.back());
+        metric_rows.push_back(
+            {"full-churn", "service-telemetry-on", threads, reg.snapshot()});
+      }
+    }
+    // One elastic cell at the standard derived-key thread count, so the
+    // metrics block also carries the elastic.* family (grow/shrink
+    // cadence, quiescence waits) for bench diffs.
+    {
+      loren::telemetry::MetricsRegistry reg;
+      loren::ElasticOptions eopts;
+      eopts.epsilon = eps;
+      const std::uint64_t start = std::min<std::uint64_t>(1024, n);
+      eopts.min_holders = start;
+      eopts.max_holders = n;
+      eopts.name_cache = false;
+      eopts.telemetry.registry = &reg;
+      auto e = std::make_unique<loren::ElasticRenamingService>(start, eopts);
+      const unsigned tel_threads = std::min(4u, thread_counts.back());
+      results.push_back(run_threads(
+          "full-churn", "elastic-telemetry-on", tel_threads, duration_ms,
+          [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+            churn_loop(*e, stop, c);
+          }));
+      print_row(results.back());
+      e->reclaim();
+      metric_rows.push_back(
+          {"full-churn", "elastic-telemetry-on", tel_threads, reg.snapshot()});
+      e.reset();  // service detaches before the registry leaves scope
+    }
+  }
+
   // ---- burst/drain ramp: fixed peak provisioning vs elastic ------------
   const unsigned ramp_peak = thread_counts.back();
   const int phase_ms = std::max(duration_ms / 2, quick ? 30 : 100);
@@ -1290,6 +1412,16 @@ int main(int argc, char** argv) {
         "word_scan_batch_speedup_k16_at_4_threads",
         items("batch-churn", "service-wordscan-many-k16", 4) / cell_batch16);
   }
+  // Detailed-mode telemetry on the uncached hot path: off/on throughput
+  // ratio, so >1 means the instrumentation costs something (acceptance:
+  // <= 1.05 at 4 threads — the striped record path plus 1-in-16 latency
+  // sampling must stay within 5%).
+  const double tel_on4 = items("full-churn", "service-telemetry-on", 4);
+  if (tel_on4 > 0) {
+    derived.emplace_back(
+        "telemetry_overhead_at_4_threads",
+        items("full-churn", "service-telemetry-off", 4) / tel_on4);
+  }
   // The thread-local name cache: hot-reuse churn with the stash vs the
   // identically configured uncached service (acceptance: >= 1.3x at 4
   // threads), plus the aggregate hit rates the cached rows observed.
@@ -1334,7 +1466,7 @@ int main(int argc, char** argv) {
   for (const auto& [k, vd] : derived) std::printf("%s = %.3f\n", k.c_str(), vd);
 
   write_json(out, n, eps, duration_ms, thread_counts, results, resets, m,
-             derived);
+             metric_rows, derived);
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "platform/sim_point.h"
 #include "renaming/service.h"  // auto_shard_count
 #include "renaming/thread_ctx.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -17,8 +18,16 @@ namespace {
 /// counter, and the thread-local name stash.
 struct PerElastic {
   loren::EpochDomain::Slot* slot = nullptr;
+  /// This thread's stripe of the service's metrics registry, resolved
+  /// alongside the epoch slot (telemetry/metrics.h).
+  loren::telemetry::MetricsRegistry::ThreadStripe* stripe = nullptr;
   std::uint32_t shard = 0;
   std::uint32_t sample = 0;
+  /// Detailed-mode sampling phases (every (mask+1)-th op observed);
+  /// acquire and release keep separate phases so strict churn
+  /// alternation cannot park one side on an unsampled parity.
+  std::uint32_t op_tick = 0;
+  std::uint32_t rel_tick = 0;
   loren::NameStash stash;
 };
 
@@ -122,6 +131,34 @@ ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
   const std::uint64_t initial =
       std::clamp(initial_holders, min_holders_, options_.max_holders);
 
+  // Resolve the telemetry surface once: attached registry = detailed mode
+  // (per-op histograms live), internal fallback = event counters only.
+  // Metric ids are interned here so the hot paths never touch a name.
+  if (options_.telemetry.registry != nullptr) {
+    ins_.registry = options_.telemetry.registry;
+    ins_.detailed = true;
+  } else {
+    owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    ins_.registry = owned_metrics_.get();
+  }
+  telemetry::MetricsRegistry& reg = *ins_.registry;
+  ins_.grow_events = reg.counter("elastic.grow.events");
+  ins_.shrink_events = reg.counter("elastic.shrink.events");
+  ins_.reclaimed_groups = reg.counter("elastic.reclaim.groups");
+  ins_.cache_hits = reg.counter("elastic.cache.hits");
+  ins_.cache_misses = reg.counter("elastic.cache.misses");
+  ins_.sweep_budget_exhausted = reg.counter("elastic.sweep.budget_exhausted");
+  ins_.sweeps = reg.counter("elastic.sweep.invocations");
+  ins_.stash_spills = reg.counter("elastic.stash.spills");
+  ins_.stash_flushes = reg.counter("elastic.stash.flushes");
+  ins_.epoch_advances = reg.counter("elastic.epoch.advances");
+  ins_.acquire_ticks = reg.histogram("elastic.acquire.ticks");
+  ins_.release_ticks = reg.histogram("elastic.release.ticks");
+  ins_.probe_len = reg.histogram("elastic.acquire.probe_len");
+  ins_.lost_races = reg.histogram("elastic.acquire.lost_races");
+  ins_.ring_walk = reg.histogram("elastic.batch.ring_walk");
+  ins_.quiesce_ticks = reg.histogram("elastic.reclaim.quiesce_ticks");
+
   std::lock_guard<SimMutex> lock(resize_mu_);
   const std::uint64_t shards =
       shard_count_for(initial, options_.shards, schedules_.params());
@@ -159,21 +196,25 @@ void ElasticRenamingService::cache_sync_gen(NameStash& st,
   st.set_expected_tag(live_tag_.load(std::memory_order_acquire));
 }
 
-void ElasticRenamingService::cache_note_acquire(NameStash& st, bool hit,
-                                                EpochDomain::Slot& slot) {
+void ElasticRenamingService::cache_note_acquire(
+    NameStash& st, bool hit, EpochDomain::Slot& slot,
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
   const NameStash::WindowStats ws = st.note_acquire(hit);
   if (ws.rolled) {
-    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
-    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
-    if (st.excess() > 0) cache_spill(st, st.excess(), slot);
+    stripe.add(ins_.cache_hits, ws.hits);
+    stripe.add(ins_.cache_misses, ws.misses);
+    if (st.excess() > 0) cache_spill(st, st.excess(), slot, stripe);
   }
 }
 
-void ElasticRenamingService::cache_spill(NameStash& st, std::uint32_t k,
-                                         EpochDomain::Slot& slot) {
+void ElasticRenamingService::cache_spill(
+    NameStash& st, std::uint32_t k, EpochDomain::Slot& slot,
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, k);
   LOREN_SIM_POINT("stash.spill");
+  LOREN_TRACE("stash.spill", n);
+  stripe.add(ins_.stash_spills, n);
   release_shared(buf, n, slot);
 }
 
@@ -181,18 +222,23 @@ std::uint64_t ElasticRenamingService::flush_thread_cache() {
   if (!options_.name_cache) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
-  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
   NameStash& st = per.stash;
   const NameStash::WindowStats ws = st.take_partial_window();
   if (ws.rolled) {
-    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
-    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
+    per.stripe->add(ins_.cache_hits, ws.hits);
+    per.stripe->add(ins_.cache_misses, ws.misses);
   }
   std::uint64_t freed = 0;
   if (!st.empty()) {
     Name buf[NameStash::kMaxCapacity];
     const std::uint32_t n = st.take_oldest(buf, st.size());
     LOREN_SIM_POINT("stash.flush");
+    LOREN_TRACE("stash.flush", n);
+    per.stripe->add(ins_.stash_flushes);
     freed = release_shared(buf, n, *per.slot);
   }
   st.set_gen(generation_.load(std::memory_order_acquire));
@@ -218,7 +264,30 @@ ElasticRenamingService::~ElasticRenamingService() = default;
 Name ElasticRenamingService::acquire() {
   ThreadCtx& ctx = thread_ctx(options_.seed);
   PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
-  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  // Detailed mode: every (mask+1)-th op is the observed sample — one
+  // trace_ticks() pair plus probe/lost-race accumulation into a stack
+  // struct, folded into the histograms as single stripe records at the
+  // exits. Unobserved ops pay one counter increment and a predictable
+  // branch (the <= 5% hot-path contract, docs/observability.md).
+  const bool timed =
+      ins_.detailed && ((per.op_tick++ & kLatencySampleMask) == 0);
+  const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
+  ShardGroup::ProbeStats stats;
+  ShardGroup::ProbeStats* const pstats = timed ? &stats : nullptr;
+  const auto finish = [&](Name name) {
+    if (timed) {
+      per.stripe->record(ins_.probe_len, stats.probes);
+      if (stats.lost_races != 0) {
+        per.stripe->record(ins_.lost_races, stats.lost_races);
+      }
+      per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
+    }
+    return name;
+  };
   if (options_.name_cache) {
     NameStash& st = per.stash;
     cache_sync_gen(st, *per.slot);
@@ -227,10 +296,13 @@ Name ElasticRenamingService::acquire() {
       // epoch pin, no probes, no counter traffic. The name's cell stayed
       // taken in its (still live: the generation matched) group.
       const Name name = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.slot);
+      cache_note_acquire(st, true, *per.slot, *per.stripe);
+      if (timed) {
+        per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
+      }
       return name;
     }
-    cache_note_acquire(st, false, *per.slot);
+    cache_note_acquire(st, false, *per.slot, *per.stripe);
   }
 
   // Bounded by the doubling ladder: each failed round either resized the
@@ -247,7 +319,7 @@ Name ElasticRenamingService::acquire() {
       // event double capacity twice.
       seen_gen = generation_.load(std::memory_order_acquire);
       ShardGroup* g = live_group_.load(std::memory_order_acquire);
-      const std::int64_t local = g->try_acquire(ctx.rng, &per.shard);
+      const std::int64_t local = g->try_acquire(ctx.rng, &per.shard, pstats);
       if (local >= 0) {
         g->note_acquired();
         // A schedule win ends any miss streak: pressure must be sustained
@@ -255,7 +327,7 @@ Name ElasticRenamingService::acquire() {
         if (miss_streak_.load(std::memory_order_relaxed) != 0) {
           miss_streak_.store(0, std::memory_order_relaxed);
         }
-        return encode_name(*g, local, options_.debug_release_guard);
+        return finish(encode_name(*g, local, options_.debug_release_guard));
       }
     }
     // Full schedule miss: record pressure, grow when it is sustained.
@@ -269,11 +341,17 @@ Name ElasticRenamingService::acquire() {
     // sweep so we fail only on true exhaustion of the live group (or, with
     // a sweep budget set, fail fast once the bounded walk is spent).
     std::int64_t swept = -1;
+    const std::uint32_t swept_before = stats.sweep_shards;
     {
       EpochDomain::Guard guard(domain_, *per.slot);
       ShardGroup* g = live_group_.load(std::memory_order_acquire);
       LOREN_SIM_POINT("elastic.sweep");
-      swept = g->sweep_acquire(&per.shard, options_.sweep_retry_budget);
+      LOREN_TRACE("elastic.sweep", seen_gen);
+      // The sweep is already off the hot path, so its shard count is
+      // always collected — `elastic.sweep.invocations` counts shards
+      // swept in every mode (matching service.sweep.invocations).
+      swept = g->sweep_acquire(&per.shard, options_.sweep_retry_budget,
+                               &stats);
       if (swept >= 0) {
         g->note_acquired();
         // A sweep win is still a successful acquisition: it must end the
@@ -283,22 +361,26 @@ Name ElasticRenamingService::acquire() {
         if (miss_streak_.load(std::memory_order_relaxed) != 0) {
           miss_streak_.store(0, std::memory_order_relaxed);
         }
-        return encode_name(*g, swept, options_.debug_release_guard);
+        per.stripe->add(ins_.sweeps, stats.sweep_shards - swept_before);
+        return finish(encode_name(*g, swept, options_.debug_release_guard));
       }
     }
+    per.stripe->add(ins_.sweeps, stats.sweep_shards - swept_before);
     if (swept == ShardGroup::kSweepBudgetTruncated) {
       // Budget-truncated sweep: the walk gave up before covering every
       // shard, so this is *not* evidence the group is full. Report the
       // explicit exhaustion code without forcing a grow — feeding a
       // truncated scan into the grow path would reintroduce the
       // spurious-grow bug the miss-streak discipline exists to prevent.
-      sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
-      return kSweepBudgetExhausted;
+      per.stripe->add(ins_.sweep_budget_exhausted);
+      return finish(kSweepBudgetExhausted);
     }
     // True exhaustion: force a grow regardless of streak, or give up.
-    if (!options_.auto_grow || !grow_from(seen_gen)) return kExhausted;
+    if (!options_.auto_grow || !grow_from(seen_gen)) {
+      return finish(kExhausted);
+    }
   }
-  return kExhausted;
+  return finish(kExhausted);
 }
 
 bool ElasticRenamingService::release(Name name) {
@@ -307,7 +389,19 @@ bool ElasticRenamingService::release(Name name) {
 
   ThreadCtx& ctx = thread_ctx(options_.seed);
   PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
-  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  const bool timed =
+      ins_.detailed && ((per.rel_tick++ & kLatencySampleMask) == 0);
+  const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
+  const auto finish = [&](bool ok) {
+    if (timed) {
+      per.stripe->record(ins_.release_ticks, telemetry::trace_ticks() - t0);
+    }
+    return ok;
+  };
   if (options_.name_cache) {
     NameStash& st = per.stash;
     cache_sync_gen(st, *per.slot);
@@ -317,7 +411,7 @@ bool ElasticRenamingService::release(Name name) {
     // takes the shared path below, so retirees keep draining.
     if (d.tag == st.expected_tag() &&
         d.local < live_local_capacity_.load(std::memory_order_acquire)) {
-      if (st.contains(name)) return false;  // same-thread double release
+      if (st.contains(name)) return finish(false);  // same-thread double release
       // Validate under a pin that the cell really is held before touching
       // anything (never-acquired or already-freed values must keep
       // failing, as on the shared path — and a failing release must have
@@ -333,26 +427,30 @@ bool ElasticRenamingService::release(Name name) {
                stamp_matches(*g, d, options_.debug_release_guard) &&
                g->is_held(d.local);
       }
-      if (!held) return false;
-      if (st.full()) cache_spill(st, st.capacity() / 2 + 1, *per.slot);
+      if (!held) return finish(false);
+      if (st.full()) {
+        cache_spill(st, st.capacity() / 2 + 1, *per.slot, *per.stripe);
+      }
       st.push(name);
       if ((++per.sample & 63u) == 0) maintenance();
-      return true;
+      return finish(true);
     }
   }
   {
     EpochDomain::Guard guard(domain_, *per.slot);
     ShardGroup* g = groups_[d.tag].load(std::memory_order_acquire);
-    if (g == nullptr) return false;
+    if (g == nullptr) return finish(false);
     LOREN_SIM_POINT("elastic.release.stamp");
-    if (!stamp_matches(*g, d, options_.debug_release_guard)) return false;
-    if (!g->release_local(d.local)) return false;
+    if (!stamp_matches(*g, d, options_.debug_release_guard)) {
+      return finish(false);
+    }
+    if (!g->release_local(d.local)) return finish(false);
     g->note_released();
   }
   // Sampled maintenance: drive reclamation (and auto-shrink) forward
   // without a background thread and without taxing every release.
   if ((++per.sample & 63u) == 0) maintenance();
-  return true;
+  return finish(true);
 }
 
 std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
@@ -360,7 +458,30 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   if (k == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
-  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  const bool timed =
+      ins_.detailed && ((per.op_tick++ & kLatencySampleMask) == 0);
+  const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
+  ShardGroup::ProbeStats stats;
+  const auto finish = [&](std::uint64_t n) {
+    if (ins_.detailed) {
+      per.stripe->record(ins_.ring_walk, stats.ring_shards);
+      if (stats.probes != 0) per.stripe->record(ins_.probe_len, stats.probes);
+      if (stats.lost_races != 0) {
+        per.stripe->record(ins_.lost_races, stats.lost_races);
+      }
+    }
+    if (stats.sweep_shards != 0) {
+      per.stripe->add(ins_.sweeps, stats.sweep_shards);
+    }
+    if (timed) {
+      per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
+    }
+    return n;
+  };
 
   std::uint64_t got = 0;
   if (options_.name_cache) {
@@ -368,9 +489,9 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
     cache_sync_gen(st, *per.slot);
     while (got < k && !st.empty()) {
       out[got++] = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.slot);
+      cache_note_acquire(st, true, *per.slot, *per.stripe);
     }
-    if (got == k) return got;
+    if (got == k) return finish(got);
   }
   const std::uint64_t from_cache = got;
   // Each round runs against one generation under one epoch pin; a round
@@ -387,7 +508,8 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       seen_gen = generation_.load(std::memory_order_acquire);
       ShardGroup* g = live_group_.load(std::memory_order_acquire);
       round = g->try_acquire_many(ctx.rng, &per.shard, k - got, out + got,
-                                  options_.sweep_retry_budget, &budget_hit);
+                                  options_.sweep_retry_budget, &budget_hit,
+                                  &stats);
       if (round > 0) {
         // One live-counter add and one tag/stamp encode pass per
         // sub-batch — the whole point of batching.
@@ -411,7 +533,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       // The shortfall came from a budget-truncated backstop sweep, not
       // from scanning every shard — no exhaustion evidence, so no miss
       // streak and no grow. Hand back the partial batch.
-      sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      per.stripe->add(ins_.sweep_budget_exhausted);
       break;
     }
     // Shortfall past try_acquire_many's sweep backstop: the live group
@@ -423,10 +545,10 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   }
   if (options_.name_cache) {
     for (std::uint64_t i = from_cache; i < got; ++i) {
-      cache_note_acquire(per.stash, false, *per.slot);
+      cache_note_acquire(per.stash, false, *per.slot, *per.stripe);
     }
   }
-  return got;
+  return finish(got);
 }
 
 std::uint64_t ElasticRenamingService::release_shared(const Name* names,
@@ -464,7 +586,10 @@ std::uint64_t ElasticRenamingService::release_many(const Name* names,
   if (count == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
-  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
   std::uint64_t freed = 0;
   if (!options_.name_cache) {
     freed = release_shared(names, count, *per.slot);
@@ -575,13 +700,17 @@ bool ElasticRenamingService::resize_locked(std::uint64_t target) {
   live_group_.store(raw, std::memory_order_release);
   generation_.store(gen, std::memory_order_release);
   LOREN_SIM_POINT("elastic.swap.retire");
-  cur->retire(domain_.advance());
+  cur->retire(domain_.advance(), telemetry::trace_ticks());
   linked_.push_back(std::move(group));
 
+  telemetry::MetricsRegistry::ThreadStripe& stripe = ins_.registry->stripe();
+  stripe.add(ins_.epoch_advances);
   if (target > cur->holders()) {
-    grow_events_.fetch_add(1, std::memory_order_relaxed);
+    stripe.add(ins_.grow_events);
+    LOREN_TRACE("elastic.grow", gen);
   } else {
-    shrink_events_.fetch_add(1, std::memory_order_relaxed);
+    stripe.add(ins_.shrink_events);
+    LOREN_TRACE("elastic.shrink", gen);
   }
   miss_streak_.store(0, std::memory_order_relaxed);
   low_streak_.store(0, std::memory_order_relaxed);
@@ -603,12 +732,15 @@ std::size_t ElasticRenamingService::reclaim_locked() {
   // is monotonically non-increasing from here) and (b) the counter hit
   // zero (no held names, so no legitimate release will look it up).
   // Unlink it and give it a fresh epoch to wait out in limbo.
+  telemetry::MetricsRegistry::ThreadStripe& stripe = ins_.registry->stripe();
   for (auto it = linked_.begin(); it != linked_.end();) {
     ShardGroup* g = it->get();
     if (g->retired() && domain_.quiesced(g->retire_epoch()) &&
         g->live() <= 0) {
       groups_[g->tag()].store(nullptr, std::memory_order_release);
       const std::uint64_t e = domain_.advance();
+      stripe.add(ins_.epoch_advances);
+      LOREN_TRACE("elastic.unlink", g->tag());
       limbo_.push_back(LimboEntry{std::move(*it), e});
       it = linked_.erase(it);
     } else {
@@ -622,9 +754,17 @@ std::size_t ElasticRenamingService::reclaim_locked() {
   std::size_t freed = 0;
   for (auto it = limbo_.begin(); it != limbo_.end();) {
     if (domain_.quiesced(it->unlink_epoch)) {
+      // Quiescence wait: retirement to reclamation, in trace_ticks()
+      // units (engine steps under LOREN_SIM, TSC otherwise).
+      const std::uint64_t retired_at = it->group->retire_ticks();
+      if (retired_at != 0) {
+        stripe.record(ins_.quiesce_ticks,
+                      telemetry::trace_ticks() - retired_at);
+      }
+      LOREN_TRACE("elastic.reclaim", it->group->tag());
       it = limbo_.erase(it);
       ++freed;
-      reclaimed_groups_.fetch_add(1, std::memory_order_relaxed);
+      stripe.add(ins_.reclaimed_groups);
     } else {
       ++it;
     }

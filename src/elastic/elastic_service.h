@@ -60,6 +60,7 @@
 #include "renaming/thread_ctx.h"
 #include "sim/env.h"
 #include "tas/tas_arena.h"
+#include "telemetry/metrics.h"
 
 namespace loren {
 
@@ -126,6 +127,14 @@ struct ElasticOptions {
   /// value bits), so keep this off in production and on in tests/debug
   /// deployments. See DESIGN.md, "The release contract".
   bool debug_release_guard = false;
+  /// Observability (telemetry/metrics.h). Attaching a registry switches
+  /// the service into *detailed* mode: per-op histograms (acquire/release
+  /// latency, probe lengths, lost races, ring-walk depth, quiescence
+  /// waits) record alongside the always-on event counters. With no
+  /// registry the service owns a private one, so the `elastic.*` event
+  /// counters and their accessors work either way at one relaxed add per
+  /// event, but the per-op histograms stay off.
+  telemetry::TelemetryOptions telemetry{};
 };
 
 class ElasticRenamingService {
@@ -239,28 +248,37 @@ class ElasticRenamingService {
   /// shrinking + reclamation drives back down.
   [[nodiscard]] std::uint64_t footprint_bytes() const;
 
+  /// Event-counter accessors: thin snapshot reads of the telemetry
+  /// registry (`elastic.*` counters — the one counting idiom), exact at
+  /// quiescence like every registry sum.
   [[nodiscard]] std::uint64_t grow_events() const {
-    return grow_events_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.grow_events);
   }
   [[nodiscard]] std::uint64_t shrink_events() const {
-    return shrink_events_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.shrink_events);
   }
   [[nodiscard]] std::uint64_t reclaimed_groups() const {
-    return reclaimed_groups_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.reclaimed_groups);
   }
   /// Aggregate name-cache statistics (folded in window-at-a-time; they
   /// lag by up to one adaptation window per thread until flushed).
   [[nodiscard]] std::uint64_t cache_hits() const {
-    return cache_hits_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.cache_hits);
   }
   [[nodiscard]] std::uint64_t cache_misses() const {
-    return cache_misses_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.cache_misses);
   }
   /// Times the bounded sweep budget ran out (acquire returning
   /// kSweepBudgetExhausted, or an acquire_many shortfall caused by the
   /// budget). Always 0 when options.sweep_retry_budget is 0.
   [[nodiscard]] std::uint64_t sweep_budget_exhausted() const {
-    return sweep_budget_exhausted_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.sweep_budget_exhausted);
+  }
+  /// The registry this service records into — the attached one in
+  /// detailed mode, else the internally owned fallback. Snapshot it for
+  /// the full `elastic.*` metric surface (docs/observability.md).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics_registry() const {
+    return *ins_.registry;
   }
   /// The calling thread's stash occupancy / adaptive capacity for this
   /// service (introspection and tests).
@@ -300,9 +318,11 @@ class ElasticRenamingService {
   void cache_sync_gen(NameStash& st, EpochDomain::Slot& slot);
   /// Hit/miss accounting; window roll-ups fold into the aggregate and
   /// spill any excess above an adaptively shrunk capacity.
-  void cache_note_acquire(NameStash& st, bool hit, EpochDomain::Slot& slot);
+  void cache_note_acquire(NameStash& st, bool hit, EpochDomain::Slot& slot,
+                          telemetry::MetricsRegistry::ThreadStripe& stripe);
   /// Spills the `k` oldest stashed names through release_shared.
-  void cache_spill(NameStash& st, std::uint32_t k, EpochDomain::Slot& slot);
+  void cache_spill(NameStash& st, std::uint32_t k, EpochDomain::Slot& slot,
+                   telemetry::MetricsRegistry::ThreadStripe& stripe);
 
   ElasticOptions options_;
   std::uint64_t min_holders_;
@@ -328,16 +348,38 @@ class ElasticRenamingService {
   /// Consecutive low-watermark observations (maintenance() only, under
   /// resize_mu_); plain int would do but keeps the header self-consistent.
   std::atomic<std::uint32_t> low_streak_{0};
-  std::atomic<std::uint64_t> grow_events_{0};
-  std::atomic<std::uint64_t> shrink_events_{0};
-  std::atomic<std::uint64_t> reclaimed_groups_{0};
 
-  /// Aggregate name-cache statistics (cold: folded in one window at a
-  /// time from the per-thread stashes).
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
-  /// Bounded-sweep failures (see sweep_budget_exhausted()).
-  std::atomic<std::uint64_t> sweep_budget_exhausted_{0};
+  /// Detailed-mode sampling: one observed op (trace_ticks() pair +
+  /// probe stats) per (mask + 1) per thread, same cadence as
+  /// RenamingService.
+  static constexpr std::uint32_t kLatencySampleMask = 255;
+
+  /// The telemetry surface, resolved once at construction (see
+  /// ElasticOptions::telemetry): the registry every event counts into,
+  /// the interned `elastic.*` metric ids, and the detailed flag gating
+  /// the per-op histograms.
+  struct Instruments {
+    telemetry::MetricsRegistry* registry = nullptr;
+    bool detailed = false;
+    telemetry::MetricId grow_events = 0;
+    telemetry::MetricId shrink_events = 0;
+    telemetry::MetricId reclaimed_groups = 0;
+    telemetry::MetricId cache_hits = 0;
+    telemetry::MetricId cache_misses = 0;
+    telemetry::MetricId sweep_budget_exhausted = 0;
+    telemetry::MetricId sweeps = 0;
+    telemetry::MetricId stash_spills = 0;
+    telemetry::MetricId stash_flushes = 0;
+    telemetry::MetricId epoch_advances = 0;
+    telemetry::MetricId acquire_ticks = 0;   // histogram
+    telemetry::MetricId release_ticks = 0;   // histogram
+    telemetry::MetricId probe_len = 0;       // histogram
+    telemetry::MetricId lost_races = 0;      // histogram
+    telemetry::MetricId ring_walk = 0;       // histogram
+    telemetry::MetricId quiesce_ticks = 0;   // histogram
+  };
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  Instruments ins_;
 
   /// Serializes resize + reclamation bookkeeping (cold path only).
   /// SimMutex, not std::mutex: the critical sections contain sim points

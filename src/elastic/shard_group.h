@@ -49,10 +49,23 @@ class ShardGroup {
              ArenaKind arena_kind,
              std::shared_ptr<const CachedSchedule> schedule);
 
+  /// Optional per-call observability (telemetry detailed mode): probe
+  /// counts, observable lost races (load-before-RMW paths only — a lost
+  /// single-RMW test_and_set is indistinguishable from "already taken"),
+  /// and how far the batched ring walk / backstop sweep went. All fields
+  /// accumulate, so one struct can span a multi-round acquisition.
+  struct ProbeStats {
+    std::uint32_t probes = 0;
+    std::uint32_t lost_races = 0;
+    std::uint32_t ring_shards = 0;
+    std::uint32_t sweep_shards = 0;
+  };
+
   /// Walk the shard ring starting at *sticky (updated in place: migrate on
   /// late wins, move to the winning shard when stealing). Returns the
   /// group-local name, or -1 when every shard's schedule missed.
-  std::int64_t try_acquire(Xoshiro256& rng, std::uint32_t* sticky);
+  std::int64_t try_acquire(Xoshiro256& rng, std::uint32_t* sticky,
+                           ProbeStats* stats = nullptr);
 
   /// Deterministic sweep of every cell (ring order from *sticky): fails
   /// with -1 only when zero cells in the group are free. `sweep_budget`
@@ -62,7 +75,8 @@ class ShardGroup {
   /// bounded scan giving up is not evidence the group is full).
   static constexpr std::int64_t kSweepBudgetTruncated = -2;
   std::int64_t sweep_acquire(std::uint32_t* sticky,
-                             std::uint64_t sweep_budget = 0);
+                             std::uint64_t sweep_budget = 0,
+                             ProbeStats* stats = nullptr);
 
   /// Batched acquisition: claims up to `k` group-local names into `out`,
   /// returning the number claimed. One probe-schedule walk finds a seed
@@ -80,7 +94,8 @@ class ShardGroup {
   std::uint64_t try_acquire_many(Xoshiro256& rng, std::uint32_t* sticky,
                                  std::uint64_t k, std::int64_t* out,
                                  std::uint64_t sweep_budget = 0,
-                                 bool* sweep_budget_hit = nullptr);
+                                 bool* sweep_budget_hit = nullptr,
+                                 ProbeStats* stats = nullptr);
 
   /// Frees a group-local name; false when it is not currently taken
   /// (single-RMW validation, concurrent double releases cannot both
@@ -105,8 +120,11 @@ class ShardGroup {
   [[nodiscard]] std::int64_t live() const { return live_.sum(); }
 
   /// Marks the group retiring; `epoch` is the domain epoch returned by the
-  /// advance() that followed the live-pointer swap.
-  void retire(std::uint64_t epoch) {
+  /// advance() that followed the live-pointer swap. `ticks` (optional) is
+  /// the retirement timestamp in telemetry::trace_ticks() units — the
+  /// service's reclaim pass turns it into the quiescence-wait histogram.
+  void retire(std::uint64_t epoch, std::uint64_t ticks = 0) {
+    retire_ticks_.store(ticks, std::memory_order_relaxed);
     retire_epoch_.store(epoch, std::memory_order_relaxed);
     retired_.store(true, std::memory_order_release);
   }
@@ -115,6 +133,9 @@ class ShardGroup {
   }
   [[nodiscard]] std::uint64_t retire_epoch() const {
     return retire_epoch_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t retire_ticks() const {
+    return retire_ticks_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint32_t tag() const { return tag_; }
@@ -142,13 +163,15 @@ class ShardGroup {
   /// probe position mean the shard is running hot.
   static constexpr std::ptrdiff_t kMigrateThreshold = 8;
 
-  std::int64_t probe_segment(std::uint64_t si, Xoshiro256& rng, bool* late);
+  std::int64_t probe_segment(std::uint64_t si, Xoshiro256& rng, bool* late,
+                             ProbeStats* stats = nullptr);
 
   /// Run-claim over shard `si`'s window [from, to), encoding wins as
   /// group-local names directly into `out`. Returns the number claimed.
   std::uint64_t claim_encoded(std::uint64_t si, std::uint64_t from,
                               std::uint64_t to, std::uint64_t k,
-                              std::int64_t* out);
+                              std::int64_t* out,
+                              std::uint32_t* lost_races = nullptr);
 
   std::uint32_t tag_;
   std::uint64_t generation_;
@@ -166,6 +189,7 @@ class ShardGroup {
   StripedCounter live_;
   std::atomic<bool> retired_{false};
   std::atomic<std::uint64_t> retire_epoch_{0};
+  std::atomic<std::uint64_t> retire_ticks_{0};
 };
 
 }  // namespace loren

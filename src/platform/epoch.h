@@ -42,6 +42,7 @@
 
 #include "platform/cacheline.h"
 #include "platform/sim_point.h"
+#include "telemetry/trace.h"
 
 namespace loren {
 
@@ -82,9 +83,12 @@ class EpochDomain {
       // crash-mid-pin fault model (a reader that dies while pinned must
       // block reclamation forever, never unblock it).
       LOREN_SIM_POINT("epoch.pin");
+      LOREN_TRACE("epoch.pin", e);
     }
     ~Guard() {
       LOREN_SIM_POINT("epoch.unpin");
+      LOREN_TRACE("epoch.unpin",
+                  slot_->pinned.load(std::memory_order_relaxed));
       slot_->pinned.store(kIdle, std::memory_order_release);
     }
     Guard(const Guard&) = delete;
@@ -102,7 +106,9 @@ class EpochDomain {
   /// pinned strictly before the advance holds an epoch < E.
   std::uint64_t advance() {
     LOREN_SIM_POINT("epoch.advance");
-    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    const std::uint64_t e = global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    LOREN_TRACE("epoch.advance", e);
+    return e;
   }
 
   /// True iff no reader is still pinned at an epoch < `epoch`: every

@@ -24,6 +24,7 @@
 // lock for real, deadlocking the serialized schedule.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 
 namespace loren::scenario {
@@ -46,6 +47,14 @@ void sim_point_hit(const char* tag) noexcept;
 void bind_worker(ScenarioEngine* engine, unsigned worker_id) noexcept;
 ScenarioEngine* current_engine() noexcept;
 unsigned current_worker() noexcept;
+
+/// The bound engine's scheduler step count, 0 off-engine. This is the
+/// deterministic "clock" telemetry/trace.h stamps events with under
+/// LOREN_SIM: workers run serialized (one token holder at a time), so the
+/// plain read is race-free, and two runs of the same Scenario see the
+/// same step at every trace point — which is what makes drained traces
+/// byte-identical across runs of one seed.
+std::uint64_t engine_step() noexcept;
 
 }  // namespace detail
 

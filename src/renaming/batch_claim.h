@@ -64,6 +64,16 @@ std::uint64_t claim_encode_inplace(RawClaim&& raw_claim,
 /// the two must not feed the same pressure signals (an elastic service
 /// that grew on a truncated scan would reintroduce the spurious-grow
 /// bug). `sweep_budget_hit` may be null when the budget is 0.
+///
+/// `walk_stats` (optional) reports how far the walk actually went — the
+/// telemetry layer turns ring_shards into the `*.batch.ring_walk`
+/// histogram and sweep_shards into the sweep counters (see
+/// docs/observability.md).
+struct BatchWalkStats {
+  std::uint32_t ring_shards = 0;   // phase-1 shards visited
+  std::uint32_t sweep_shards = 0;  // phase-2 backstop shards scanned
+};
+
 template <class Probe, class Claim>
 std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
                                std::uint32_t shard_shift,
@@ -71,13 +81,15 @@ std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
                                std::uint32_t* sticky, std::uint64_t k,
                                std::int64_t* out, Probe&& probe,
                                Claim&& claim, std::uint64_t sweep_budget = 0,
-                               bool* sweep_budget_hit = nullptr) {
+                               bool* sweep_budget_hit = nullptr,
+                               BatchWalkStats* walk_stats = nullptr) {
   const std::uint64_t S = shard_mask + 1;
   std::uint64_t got = 0;
   // Phase 1 — schedule-seeded run claims: k names for ~one schedule walk.
   const std::uint32_t origin = *sticky;
-  for (std::uint64_t w = 0; w < S && got < k; ++w) {
-    const std::uint64_t si = (origin + w) & shard_mask;
+  std::uint64_t walked = 0;
+  for (; walked < S && got < k; ++walked) {
+    const std::uint64_t si = (origin + walked) & shard_mask;
     bool late = false;
     const std::int64_t seed = probe(si, &late);
     if (seed < 0) continue;
@@ -85,11 +97,14 @@ std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
     const std::uint64_t x = static_cast<std::uint64_t>(seed) >> shard_shift;
     if (got < k) got += claim(si, x + 1, shard_stride, k - got, out + got);
     if (got < k) got += claim(si, 0, x, k - got, out + got);
-    if (w != 0) {
+    if (walked != 0) {
       *sticky = static_cast<std::uint32_t>(si);
     } else if (late) {
       *sticky = static_cast<std::uint32_t>((si + 1) & shard_mask);
     }
+  }
+  if (walk_stats != nullptr) {
+    walk_stats->ring_shards = static_cast<std::uint32_t>(walked);
   }
   // Phase 2 — deterministic sweep backstop: a shortfall past here is true
   // (near-)exhaustion — or, with a budget set, a deliberately truncated
@@ -104,6 +119,9 @@ std::uint64_t batch_claim_ring(std::uint64_t shard_mask,
       const std::uint64_t si = (origin2 + w) & shard_mask;
       LOREN_SIM_POINT("sweep.shard");
       got += claim(si, 0, shard_stride, k - got, out + got);
+    }
+    if (walk_stats != nullptr) {
+      walk_stats->sweep_shards = static_cast<std::uint32_t>(w);
     }
     if (got < k && w == sweep_cap && sweep_cap < S &&
         sweep_budget_hit != nullptr) {

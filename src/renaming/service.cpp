@@ -9,6 +9,7 @@
 #include "platform/sim_point.h"
 #include "renaming/batch_claim.h"
 #include "renaming/thread_ctx.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -33,6 +34,16 @@ using loren::RegisteredCounter;
 struct PerService {
   std::uint32_t shard = 0;
   RegisteredCounter::Node* counter = nullptr;
+  /// This thread's stripe of the service's metrics registry, resolved
+  /// alongside the counter node so a record is one cached-pointer deref
+  /// plus a relaxed add (telemetry/metrics.h).
+  loren::telemetry::MetricsRegistry::ThreadStripe* stripe = nullptr;
+  /// Detailed-mode sampling phases (every (mask+1)-th op observed).
+  /// Acquire and release keep separate phases: churn loops alternate the
+  /// two ops strictly, so a shared counter would park one side on a
+  /// parity the mask never selects.
+  std::uint32_t op_tick = 0;
+  std::uint32_t rel_tick = 0;
   /// The thread-local name cache (renaming/thread_ctx.h): released names
   /// parked here are re-issued to this thread with no shared-memory
   /// traffic at all. Tagged with the service's reset generation.
@@ -141,10 +152,36 @@ RenamingService::RenamingService(std::uint64_t n,
   }
   shard_stride_ = shards_[0]->layout.total();
   capacity_ = shard_stride_ << shard_shift_;
+
+  // Resolve the telemetry surface once: attached registry = detailed mode
+  // (per-op histograms live), internal fallback = event counters only.
+  // Metric ids are interned here so the hot paths never touch a name.
+  if (options_.telemetry.registry != nullptr) {
+    ins_.registry = options_.telemetry.registry;
+    ins_.detailed = true;
+  } else {
+    owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    ins_.registry = owned_metrics_.get();
+  }
+  telemetry::MetricsRegistry& reg = *ins_.registry;
+  ins_.cache_hits = reg.counter("service.cache.hits");
+  ins_.cache_misses = reg.counter("service.cache.misses");
+  ins_.sweep_budget_exhausted = reg.counter("service.sweep.budget_exhausted");
+  ins_.shard_migrations = reg.counter("service.shard.migrations");
+  ins_.sweeps = reg.counter("service.sweep.invocations");
+  ins_.stash_spills = reg.counter("service.stash.spills");
+  ins_.stash_flushes = reg.counter("service.stash.flushes");
+  ins_.acquire_ticks = reg.histogram("service.acquire.ticks");
+  ins_.release_ticks = reg.histogram("service.release.ticks");
+  ins_.probe_len = reg.histogram("service.acquire.probe_len");
+  ins_.lost_races = reg.histogram("service.acquire.lost_races");
+  ins_.ring_walk = reg.histogram("service.batch.ring_walk");
 }
 
 Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
-                                  Xoshiro256& rng, bool& late) {
+                                  Xoshiro256& rng, bool& late,
+                                  std::uint32_t* probes,
+                                  std::uint32_t* lost_races) {
   const FlatProbeSchedule::Slot* const first = shard.schedule.begin();
   if (shard.seg.kind() == ArenaKind::kBitmap) {
     // Word-granular probes: the slot's random draw nominates a word and
@@ -152,12 +189,18 @@ Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
     // when its whole word is full (see tas/bitmap_arena.h).
     for (const auto* slot = first; slot != shard.schedule.end(); ++slot) {
       const std::uint64_t x = slot->offset + rng.below(slot->size);
-      const std::int64_t cell = shard.seg.try_claim_word(x);
+      const std::int64_t cell = shard.seg.try_claim_word(x, lost_races);
       if (cell >= 0) {
         late = (slot - first) >= kMigrateThreshold;
+        if (probes != nullptr) {
+          *probes += static_cast<std::uint32_t>(slot - first) + 1;
+        }
         return static_cast<Name>(
             (static_cast<std::uint64_t>(cell) << shard_shift_) | shard_index);
       }
+    }
+    if (probes != nullptr) {
+      *probes += static_cast<std::uint32_t>(shard.schedule.end() - first);
     }
     return -1;
   }
@@ -165,9 +208,15 @@ Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
     const std::uint64_t x = slot->offset + rng.below(slot->size);
     if (shard.seg.test_and_set(x)) {
       late = (slot - first) >= kMigrateThreshold;
+      if (probes != nullptr) {
+        *probes += static_cast<std::uint32_t>(slot - first) + 1;
+      }
       // Interleaved encoding: local * S + shard, so decode is shift/mask.
       return static_cast<Name>((x << shard_shift_) | shard_index);
     }
+  }
+  if (probes != nullptr) {
+    *probes += static_cast<std::uint32_t>(shard.schedule.end() - first);
   }
   return -1;
 }
@@ -182,29 +231,51 @@ void RenamingService::cache_sync_gen(NameStash& st) const {
   }
 }
 
-void RenamingService::cache_note_acquire(NameStash& st, bool hit,
-                                         RegisteredCounter::Node& counter) {
+void RenamingService::cache_note_acquire(
+    NameStash& st, bool hit, RegisteredCounter::Node& counter,
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
   const NameStash::WindowStats ws = st.note_acquire(hit);
   if (ws.rolled) {
-    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
-    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
-    if (st.excess() > 0) cache_spill(st, st.excess(), counter);
+    stripe.add(ins_.cache_hits, ws.hits);
+    stripe.add(ins_.cache_misses, ws.misses);
+    if (st.excess() > 0) cache_spill(st, st.excess(), counter, stripe);
   }
 }
 
-void RenamingService::cache_spill(NameStash& st, std::uint32_t k,
-                                  RegisteredCounter::Node& counter) {
+void RenamingService::cache_spill(
+    NameStash& st, std::uint32_t k, RegisteredCounter::Node& counter,
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, k);
   // Names leave the (thread-private) stash and hit shared cells/counter.
   LOREN_SIM_POINT("stash.spill");
+  LOREN_TRACE("stash.spill", n);
+  stripe.add(ins_.stash_spills, n);
   release_shared(buf, n, counter);
 }
 
 Name RenamingService::acquire() {
   ThreadCtx& ctx = thread_ctx(options_.seed);
   auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
-  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (per.counter == nullptr) {
+    per.counter = &live_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  // Detailed mode: every (mask+1)-th op is the observed sample — one
+  // rdtsc pair plus probe/lost-race accumulation into stack locals,
+  // recorded as single stripe adds at the exits, never an RMW on shared
+  // state. The unobserved ops pay one counter increment and a
+  // predictable branch, which is what keeps detailed mode inside the
+  // <= 5% hot-path overhead contract (docs/observability.md).
+  const bool timed =
+      ins_.detailed && ((per.op_tick++ & kLatencySampleMask) == 0);
+  const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
+  const auto finish = [&](Name name) {
+    if (timed) {
+      per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
+    }
+    return name;
+  };
   if (options_.name_cache) {
     NameStash& st = per.stash;
     cache_sync_gen(st);
@@ -213,26 +284,41 @@ Name RenamingService::acquire() {
       // cell stayed taken and the live counter never moved, so no shared
       // state needs touching at all.
       const Name name = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.counter);
-      return name;
+      cache_note_acquire(st, true, *per.counter, *per.stripe);
+      return finish(name);
     }
-    cache_note_acquire(st, false, *per.counter);
+    cache_note_acquire(st, false, *per.counter, *per.stripe);
   }
+  std::uint32_t probes = 0;
+  std::uint32_t lost = 0;
+  std::uint32_t* const pprobes = timed ? &probes : nullptr;
+  std::uint32_t* const plost = timed ? &lost : nullptr;
+  const auto note_probes = [&] {
+    if (timed) {
+      per.stripe->record(ins_.probe_len, probes);
+      if (lost != 0) per.stripe->record(ins_.lost_races, lost);
+    }
+  };
   const std::uint64_t S = shard_mask_ + 1;
   // Fast path: the sticky shard; on pressure (late win) migrate ringward,
   // on a full miss steal ringward, so loaded shards shed to neighbours.
   for (std::uint64_t k = 0; k < S; ++k) {
     const std::uint64_t si = (per.shard + k) & shard_mask_;
     bool late = false;
-    const Name name = probe_shard(*shards_[si], si, ctx.rng, late);
+    const Name name = probe_shard(*shards_[si], si, ctx.rng, late, pprobes, plost);
     if (name >= 0) {
       if (k != 0) {
         per.shard = static_cast<std::uint32_t>(si);
+        per.stripe->add(ins_.shard_migrations);
+        LOREN_TRACE("service.migrate", si);
       } else if (late) {
         per.shard = static_cast<std::uint32_t>((si + 1) & shard_mask_);
+        per.stripe->add(ins_.shard_migrations);
+        LOREN_TRACE("service.migrate", per.shard);
       }
       RegisteredCounter::add(*per.counter, 1);
-      return name;
+      note_probes();
+      return finish(name);
     }
   }
   // Every schedule missed (probability 1/n^(beta-o(1)) per shard unless
@@ -248,28 +334,33 @@ Name RenamingService::acquire() {
   for (std::uint64_t k = 0; k < sweep_cap; ++k) {
     const std::uint64_t si = (per.shard + k) & shard_mask_;
     LOREN_SIM_POINT("service.sweep");
+    per.stripe->add(ins_.sweeps);
+    LOREN_TRACE("service.sweep", si);
     std::uint64_t u = 0;
-    if (shards_[si]->seg.try_claim_run(0, shard_stride_, 1, &u) == 1) {
+    if (shards_[si]->seg.try_claim_run(0, shard_stride_, 1, &u, plost) == 1) {
       per.shard = static_cast<std::uint32_t>(si);
       RegisteredCounter::add(*per.counter, 1);
-      return static_cast<Name>((u << shard_shift_) | si);
+      note_probes();
+      return finish(static_cast<Name>((u << shard_shift_) | si));
     }
   }
+  note_probes();
   if (sweep_cap < S) {
-    sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
-    return kSweepBudgetExhausted;
+    per.stripe->add(ins_.sweep_budget_exhausted);
+    return finish(kSweepBudgetExhausted);
   }
-  return kExhausted;
+  return finish(kExhausted);
 }
 
 std::uint64_t RenamingService::claim_encoded(Shard& shard,
                                              std::uint64_t shard_index,
                                              std::uint64_t from,
                                              std::uint64_t to, std::uint64_t k,
-                                             Name* out) {
+                                             Name* out,
+                                             std::uint32_t* lost_races) {
   return claim_encode_inplace(
       [&](std::uint64_t* raw) {
-        return shard.seg.try_claim_run(from, to, k, raw);
+        return shard.seg.try_claim_run(from, to, k, raw, lost_races);
       },
       shard_shift_, shard_index, out);
 }
@@ -278,42 +369,70 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
   if (k == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
-  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (per.counter == nullptr) {
+    per.counter = &live_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  const bool timed =
+      ins_.detailed && ((per.op_tick++ & kLatencySampleMask) == 0);
+  const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
   std::uint64_t got = 0;
   if (options_.name_cache) {
     NameStash& st = per.stash;
     cache_sync_gen(st);
     while (got < k && !st.empty()) {
       out[got++] = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.counter);
+      cache_note_acquire(st, true, *per.counter, *per.stripe);
     }
-    if (got == k) return got;
+    if (got == k) {
+      if (timed) {
+        per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
+      }
+      return got;
+    }
   }
+  std::uint32_t probes = 0;
+  std::uint32_t lost = 0;
+  std::uint32_t* const pprobes = ins_.detailed ? &probes : nullptr;
+  std::uint32_t* const plost = ins_.detailed ? &lost : nullptr;
   // The shared seed-and-run-claim ring walk (renaming/batch_claim.h): a
   // shortfall past its sweep backstop means fewer than k cells were free
   // across the whole namespace when scanned — unless the bounded sweep
   // budget truncated the scan, which is counted, not conflated.
   bool budget_hit = false;
+  BatchWalkStats walk;
   const std::uint64_t shared_got = batch_claim_ring(
       shard_mask_, shard_shift_, shard_stride_, &per.shard, k - got, out + got,
       [&](std::uint64_t si, bool* late) {
-        return probe_shard(*shards_[si], si, ctx.rng, *late);
+        return probe_shard(*shards_[si], si, ctx.rng, *late, pprobes, plost);
       },
       [&](std::uint64_t si, std::uint64_t from, std::uint64_t to,
           std::uint64_t budget, Name* dst) {
-        return claim_encoded(*shards_[si], si, from, to, budget, dst);
+        return claim_encoded(*shards_[si], si, from, to, budget, dst, plost);
       },
-      options_.sweep_retry_budget, &budget_hit);
+      options_.sweep_retry_budget, &budget_hit, &walk);
   if (budget_hit) {
-    sweep_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    per.stripe->add(ins_.sweep_budget_exhausted);
+  }
+  if (walk.sweep_shards > 0) {
+    per.stripe->add(ins_.sweeps, walk.sweep_shards);
+    LOREN_TRACE("service.sweep", walk.sweep_shards);
+  }
+  if (ins_.detailed) {
+    per.stripe->record(ins_.ring_walk, walk.ring_shards);
+    if (probes != 0) per.stripe->record(ins_.probe_len, probes);
+    if (lost != 0) per.stripe->record(ins_.lost_races, lost);
   }
   if (shared_got > 0) {
     RegisteredCounter::add(*per.counter, static_cast<std::int64_t>(shared_got));
   }
   if (options_.name_cache) {
     for (std::uint64_t i = 0; i < shared_got; ++i) {
-      cache_note_acquire(per.stash, false, *per.counter);
+      cache_note_acquire(per.stash, false, *per.counter, *per.stripe);
     }
+  }
+  if (timed) {
+    per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
   }
   return got + shared_got;
 }
@@ -340,7 +459,10 @@ std::uint64_t RenamingService::release_many(const Name* names,
   if (count == 0) return 0;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
-  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (per.counter == nullptr) {
+    per.counter = &live_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
   if (!options_.name_cache) return release_shared(names, count, *per.counter);
   NameStash& st = per.stash;
   cache_sync_gen(st);
@@ -377,32 +499,46 @@ bool RenamingService::release(Name name) {
   if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) return false;
   const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
   const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+  const bool timed =
+      ins_.detailed && ((per.rel_tick++ & kLatencySampleMask) == 0);
+  if (timed && per.stripe == nullptr) per.stripe = &ins_.registry->stripe();
+  const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
+  const auto finish = [&](bool ok) {
+    if (timed) {
+      per.stripe->record(ins_.release_ticks, telemetry::trace_ticks() - t0);
+    }
+    return ok;
+  };
   if (options_.name_cache) {
-    ThreadCtx& ctx = thread_ctx(options_.seed);
-    auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
     NameStash& st = per.stash;
     cache_sync_gen(st);
-    if (st.contains(name)) return false;  // same-thread double release
+    if (st.contains(name)) return finish(false);  // same-thread double release
     // The cell must actually be taken for the release to be legitimate; a
     // plain load suffices (the cell stays taken while stashed), and for a
     // conforming caller the line is still in this core's cache from the
     // acquisition. Contract-violating races (two threads releasing one
     // held name) are undetectable without the RMW — see release()'s
     // contract in service.h.
-    if (shards_[si]->seg.read(local) != 1) return false;
+    if (shards_[si]->seg.read(local) != 1) return finish(false);
     if (st.full()) {
-      if (per.counter == nullptr) per.counter = &live_.register_thread();
-      cache_spill(st, st.capacity() / 2 + 1, *per.counter);
+      if (per.counter == nullptr) {
+        per.counter = &live_.register_thread();
+        per.stripe = &ins_.registry->stripe();
+      }
+      cache_spill(st, st.capacity() / 2 + 1, *per.counter, *per.stripe);
     }
     st.push(name);
-    return true;
+    return finish(true);
   }
-  if (!shards_[si]->seg.try_release(local)) return false;
-  ThreadCtx& ctx = thread_ctx(options_.seed);
-  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
-  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (!shards_[si]->seg.try_release(local)) return finish(false);
+  if (per.counter == nullptr) {
+    per.counter = &live_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
   RegisteredCounter::add(*per.counter, -1);
-  return true;
+  return finish(true);
 }
 
 std::uint64_t RenamingService::flush_thread_cache() {
@@ -411,16 +547,19 @@ std::uint64_t RenamingService::flush_thread_cache() {
   auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
   NameStash& st = per.stash;
   cache_sync_gen(st);
+  if (per.stripe == nullptr) per.stripe = &ins_.registry->stripe();
   const NameStash::WindowStats ws = st.take_partial_window();
   if (ws.rolled) {
-    cache_hits_.fetch_add(ws.hits, std::memory_order_relaxed);
-    cache_misses_.fetch_add(ws.misses, std::memory_order_relaxed);
+    per.stripe->add(ins_.cache_hits, ws.hits);
+    per.stripe->add(ins_.cache_misses, ws.misses);
   }
   if (st.empty()) return 0;
   if (per.counter == nullptr) per.counter = &live_.register_thread();
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, st.size());
   LOREN_SIM_POINT("stash.flush");
+  LOREN_TRACE("stash.flush", n);
+  per.stripe->add(ins_.stash_flushes);
   return release_shared(buf, n, *per.counter);
 }
 

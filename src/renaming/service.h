@@ -58,6 +58,7 @@
 #include "tas/arena_segment.h"
 #include "tas/bitmap_arena.h"
 #include "tas/tas_arena.h"
+#include "telemetry/metrics.h"
 
 namespace loren {
 
@@ -124,6 +125,16 @@ struct RenamingServiceOptions {
   /// mode admission control (ROADMAP) and the fault engine inject
   /// against.
   std::uint32_t sweep_retry_budget = 0;
+  /// Observability surface (telemetry/metrics.h). With a registry
+  /// attached, the service publishes its `service.*` metrics there —
+  /// including the per-op hot-path histograms (acquire/release latency,
+  /// probe lengths, lost races, batch ring-walk lengths), which are
+  /// recorded only in this mode. Left null, the service counts its event
+  /// metrics (cache hits/misses, sweeps, migrations, spills) on an
+  /// internal registry — one counting idiom either way — and the per-op
+  /// histograms stay off, so the default configuration pays nothing per
+  /// operation. See docs/observability.md.
+  telemetry::TelemetryOptions telemetry{};
 };
 
 class RenamingService {
@@ -220,18 +231,26 @@ class RenamingService {
   /// Aggregate name-cache statistics, folded in window-at-a-time from the
   /// per-thread stashes (so they lag by up to one adaptation window per
   /// thread until flush_thread_cache()). Approximate while in flight.
+  /// Thin snapshot reads of the metrics registry (the counting moved
+  /// there; same values, same contract).
   [[nodiscard]] std::uint64_t cache_hits() const {
-    return cache_hits_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.cache_hits);
   }
   [[nodiscard]] std::uint64_t cache_misses() const {
-    return cache_misses_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.cache_misses);
   }
   /// Times the bounded sweep budget ran out (acquire returning
   /// kSweepBudgetExhausted, or an acquire_many shortfall caused by the
   /// budget rather than true exhaustion). Always 0 when
   /// options.sweep_retry_budget is 0.
   [[nodiscard]] std::uint64_t sweep_budget_exhausted() const {
-    return sweep_budget_exhausted_.load(std::memory_order_relaxed);
+    return ins_.registry->counter_value(ins_.sweep_budget_exhausted);
+  }
+  /// The registry this service records into: the one attached via
+  /// options.telemetry, or the internal fallback. Snapshot/exposition
+  /// surface for callers and the bench harness.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics_registry() const {
+    return *ins_.registry;
   }
   /// The calling thread's stash occupancy / adaptive capacity for this
   /// service (introspection and tests).
@@ -277,17 +296,54 @@ class RenamingService {
   /// and the caller's sticky hint migrates to the next shard.
   static constexpr std::ptrdiff_t kMigrateThreshold = 8;
 
+  /// Detailed-mode sampling: every (mask+1)-th acquire/release on a
+  /// thread is the observed sample — timestamped, probe counts
+  /// accumulated and recorded. 1-in-256 keeps the histograms
+  /// representative (tens of thousands of samples per bench second)
+  /// while amortizing the timestamp cost to well under the 5% overhead
+  /// contract even where rdtsc is hypervisor-slow (docs/observability.md).
+  static constexpr std::uint32_t kLatencySampleMask = 255;
+
+  /// Resolved telemetry surface: the registry (attached or internal
+  /// fallback) plus the service's interned metric ids. The event
+  /// counters always count; the per-op histograms record only when
+  /// `detailed` (a registry was attached via options.telemetry).
+  struct Instruments {
+    telemetry::MetricsRegistry* registry = nullptr;
+    bool detailed = false;
+    // Event counters (always on; recorded off the hot path or on rare
+    // events only).
+    telemetry::MetricId cache_hits = 0;
+    telemetry::MetricId cache_misses = 0;
+    telemetry::MetricId sweep_budget_exhausted = 0;
+    telemetry::MetricId shard_migrations = 0;
+    telemetry::MetricId sweeps = 0;
+    telemetry::MetricId stash_spills = 0;
+    telemetry::MetricId stash_flushes = 0;
+    // Per-op histograms (detailed mode only).
+    telemetry::MetricId acquire_ticks = 0;
+    telemetry::MetricId release_ticks = 0;
+    telemetry::MetricId probe_len = 0;
+    telemetry::MetricId lost_races = 0;
+    telemetry::MetricId ring_walk = 0;
+  };
+
   /// Walk one shard's flattened probe schedule. Returns the interleaved
   /// global name, or -1 on a full miss; sets `late` when the win arrived
-  /// at or past kMigrateThreshold.
+  /// at or past kMigrateThreshold. `probes` (optional) accumulates the
+  /// schedule slots walked (win position + 1, or the full schedule on a
+  /// miss); `lost_races` forwards the substrate's observable-loss count.
   sim::Name probe_shard(Shard& shard, std::uint64_t shard_index,
-                        Xoshiro256& rng, bool& late);
+                        Xoshiro256& rng, bool& late,
+                        std::uint32_t* probes = nullptr,
+                        std::uint32_t* lost_races = nullptr);
 
   /// Run-claim over `shard`'s cells [from, to), encoding wins as
   /// interleaved global names directly into `out`. Returns the count.
   std::uint64_t claim_encoded(Shard& shard, std::uint64_t shard_index,
                               std::uint64_t from, std::uint64_t to,
-                              std::uint64_t k, sim::Name* out);
+                              std::uint64_t k, sim::Name* out,
+                              std::uint32_t* lost_races = nullptr);
 
   /// The shared (arena + counter) release path, bypassing the stash: the
   /// try_release loop plus one add to `counter` (the caller's already-
@@ -301,13 +357,15 @@ class RenamingService {
   /// reset() (the epoch bump already freed those cells).
   void cache_sync_gen(NameStash& st) const;
   /// Hit/miss accounting; at each window roll-up folds the counts into
-  /// the aggregate and spills any excess above an adaptively shrunk
-  /// capacity.
+  /// the registry (via `stripe`, the caller's cached thread stripe) and
+  /// spills any excess above an adaptively shrunk capacity.
   void cache_note_acquire(NameStash& st, bool hit,
-                          RegisteredCounter::Node& counter);
+                          RegisteredCounter::Node& counter,
+                          telemetry::MetricsRegistry::ThreadStripe& stripe);
   /// Spills the `k` oldest stashed names through release_shared.
   void cache_spill(NameStash& st, std::uint32_t k,
-                   RegisteredCounter::Node& counter);
+                   RegisteredCounter::Node& counter,
+                   telemetry::MetricsRegistry::ThreadStripe& stripe);
 
   RenamingServiceOptions options_;
   /// Process-unique instance id. Per-thread caches (sticky shard hint,
@@ -334,11 +392,10 @@ class RenamingService {
   /// (the epoch bump already freed those cells). Starts at 1 so a fresh
   /// stash (gen 0) always re-tags before serving.
   std::atomic<std::uint64_t> cache_gen_{1};
-  /// Aggregate cache statistics (cold: folded in one window at a time).
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> cache_misses_{0};
-  /// Bounded-sweep failures (see sweep_budget_exhausted()).
-  std::atomic<std::uint64_t> sweep_budget_exhausted_{0};
+  /// Internal registry fallback (engaged when options.telemetry.registry
+  /// is null) — all counting goes through a registry either way.
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  Instruments ins_;
 };
 
 }  // namespace loren

@@ -31,4 +31,9 @@ ScenarioEngine* current_engine() noexcept { return tls_engine; }
 
 unsigned current_worker() noexcept { return tls_worker; }
 
+std::uint64_t engine_step() noexcept {
+  const ScenarioEngine* e = tls_engine;
+  return e != nullptr ? e->steps() : 0;
+}
+
 }  // namespace loren::scenario::detail

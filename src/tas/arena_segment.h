@@ -69,11 +69,13 @@ class ArenaSegment {
   /// segment-relative `hint`, clamped to this segment's window so a word
   /// straddling the segment edge never claims a neighbouring shard's
   /// cell (which would corrupt the name encoding). Returns the
-  /// segment-relative index, or -1 when the word is full.
-  std::int64_t try_claim_word(std::uint64_t hint) {
+  /// segment-relative index, or -1 when the word is full. `lost_races`
+  /// (optional) forwards BitmapArena's observable-loss count (telemetry).
+  std::int64_t try_claim_word(std::uint64_t hint,
+                              std::uint32_t* lost_races = nullptr) {
     assert(bitmap_ != nullptr && "try_claim_word on a cell-probe segment");
-    const std::int64_t got =
-        bitmap_->try_claim_in_word(base_ + hint, base_, base_ + size_);
+    const std::int64_t got = bitmap_->try_claim_in_word(
+        base_ + hint, base_, base_ + size_, lost_races);
     return got < 0 ? got : got - static_cast<std::int64_t>(base_);
   }
 
@@ -83,11 +85,14 @@ class ArenaSegment {
   /// and their *segment-relative* indices appended to `out`. Returns the
   /// number claimed.
   std::uint64_t try_claim_run(std::uint64_t begin, std::uint64_t end,
-                              std::uint64_t k, std::uint64_t* out) {
+                              std::uint64_t k, std::uint64_t* out,
+                              std::uint32_t* lost_races = nullptr) {
     const std::uint64_t got =
         bitmap_ != nullptr
-            ? bitmap_->try_claim_run(base_ + begin, base_ + end, k, out)
-            : arena_->try_claim_run(base_ + begin, base_ + end, k, out);
+            ? bitmap_->try_claim_run(base_ + begin, base_ + end, k, out,
+                                     lost_races)
+            : arena_->try_claim_run(base_ + begin, base_ + end, k, out,
+                                    lost_races);
     for (std::uint64_t i = 0; i < got; ++i) out[i] -= base_;
     return got;
   }

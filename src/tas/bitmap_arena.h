@@ -51,6 +51,7 @@
 #include "platform/sim_point.h"
 #include "tas/direct_env.h"
 #include "tas/tas_arena.h"
+#include "telemetry/trace.h"
 
 namespace loren {
 
@@ -151,8 +152,11 @@ class BitmapArena {
   /// one-bit fetch_or -> verify: losing the race on the chosen bit just
   /// reloads the (shrunken) free mask from the fetch_or's return value,
   /// so the retry loop runs at most 64 times and performs no extra loads.
+  /// `lost_races` (optional) accumulates the fetch_or retries — each one
+  /// is a rival observed winning the chosen bit (telemetry).
   std::int64_t try_claim_in_word(std::uint64_t hint, std::uint64_t lo,
-                                 std::uint64_t hi) {
+                                 std::uint64_t hi,
+                                 std::uint32_t* lost_races = nullptr) {
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
     const std::uint64_t w = hint / kBitsPerWord;
     WordSlot& s = slot(w);
@@ -173,6 +177,7 @@ class BitmapArena {
         return static_cast<std::int64_t>(w * kBitsPerWord +
                                          static_cast<std::uint64_t>(b));
       }
+      if (lost_races != nullptr) ++*lost_races;
       taken = old | bit;  // lost the race: that bit (at least) is now taken
     }
   }
@@ -185,9 +190,11 @@ class BitmapArena {
   /// the residue is retried from the updated mask. Claiming a k-cell run
   /// that spans a word boundary is just two word iterations — no cell is
   /// ever claimed twice because every claim is a bit that this fetch_or
-  /// flipped 0 -> 1.
+  /// flipped 0 -> 1. `lost_races` (optional) accumulates popcount(want &
+  /// old) across the fetch_ors — the bits rivals won first (telemetry).
   std::uint64_t try_claim_run(std::uint64_t begin, std::uint64_t end,
-                              std::uint64_t k, std::uint64_t* out) {
+                              std::uint64_t k, std::uint64_t* out,
+                              std::uint32_t* lost_races = nullptr) {
     if (begin >= end || k == 0) return 0;
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
     std::uint64_t got = 0;
@@ -215,6 +222,9 @@ class BitmapArena {
           out[got++] = w * kBitsPerWord + static_cast<std::uint64_t>(b);
         }
         if ((want & old) == 0) break;  // no lost races: mask is exhausted
+        if (lost_races != nullptr) {
+          *lost_races += static_cast<std::uint32_t>(popcount_u64(want & old));
+        }
         taken = old | want;
       }
     }
@@ -238,7 +248,10 @@ class BitmapArena {
   /// O(1) full-namespace reset: bump the epoch so every word's stamp goes
   /// stale (words re-zero lazily on first touch). Same contract as
   /// TasArena::reset(): requires external quiescence.
-  void reset() { epoch_.fetch_add(kEpochStep, std::memory_order_acq_rel); }
+  void reset() {
+    epoch_.fetch_add(kEpochStep, std::memory_order_acq_rel);
+    LOREN_TRACE("bitmap.reset", epoch_.load(std::memory_order_relaxed));
+  }
 
   [[nodiscard]] std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_relaxed);

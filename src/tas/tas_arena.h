@@ -50,6 +50,7 @@
 #include "platform/cacheline.h"
 #include "platform/sim_point.h"
 #include "tas/direct_env.h"
+#include "telemetry/trace.h"
 
 namespace loren {
 
@@ -125,8 +126,12 @@ class TasArena {
   /// region is skipped at one line-fill per eight cells. Losing the race
   /// on a free-looking cell (the exchange observes the current epoch)
   /// just moves the scan on; uniqueness is still the per-cell TAS.
+  /// `lost_races` (optional) accumulates the observable losses — cells
+  /// whose check saw free but whose exchange found the current epoch
+  /// (telemetry; single-RMW test_and_set losses are not observable).
   std::uint64_t try_claim_run(std::uint64_t begin, std::uint64_t end,
-                              std::uint64_t k, std::uint64_t* out) {
+                              std::uint64_t k, std::uint64_t* out,
+                              std::uint32_t* lost_races = nullptr) {
     const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
     std::uint64_t got = 0;
     for (std::uint64_t i = begin; i < end && got < k; ++i) {
@@ -135,7 +140,11 @@ class TasArena {
       // The load-before-RMW window: a rival can win the free-looking
       // cell between the check and the exchange.
       LOREN_SIM_POINT("tas.run.claim");
-      if (c.exchange(e, std::memory_order_acq_rel) != e) out[got++] = i;
+      if (c.exchange(e, std::memory_order_acq_rel) != e) {
+        out[got++] = i;
+      } else if (lost_races != nullptr) {
+        ++*lost_races;
+      }
     }
     return got;
   }
@@ -144,7 +153,10 @@ class TasArena {
   /// Same contract as AtomicTasArray::reset(): not safe concurrently with
   /// in-flight test_and_set/release (an in-flight op may land in either
   /// epoch); callers quiesce first.
-  void reset() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+  void reset() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    LOREN_TRACE("tas.reset", epoch_.load(std::memory_order_relaxed));
+  }
 
   /// Current epoch (diagnostics; exact only at quiescence, like reset()).
   [[nodiscard]] std::uint64_t epoch() const {

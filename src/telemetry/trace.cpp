@@ -1,0 +1,174 @@
+// Trace-ring internals: tag interning, per-thread ring registration, the
+// merge/drain, and the chrome://tracing writer.
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "renaming/thread_ctx.h"  // dense_thread_slot: stable tid under the engine
+
+#ifdef LOREN_SIM
+#include "platform/sim_point.h"
+#include "sim/scenario/engine.h"
+#endif
+
+#if !defined(__x86_64__) && !defined(__aarch64__)
+#include <chrono>
+#endif
+
+namespace loren::telemetry {
+
+namespace {
+
+struct Ring {
+  // Two atomic words per event (ts; tag<<32|arg): relaxed stores by the
+  // owner, so a racing drain reads torn *pairs* at worst, never UB. The
+  // release store of head orders the slot writes before publication.
+  struct Slot {
+    std::atomic<std::uint64_t> ts{0};
+    std::atomic<std::uint64_t> packed{0};
+  };
+  std::atomic<std::uint64_t> head{0};  // total events ever emitted
+  std::uint64_t thread = 0;            // dense slot of the owning thread
+  Slot slots[kTraceRingEvents];
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  // live for process lifetime
+  std::vector<std::string> tags;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local Ring* tls_ring = nullptr;
+
+Ring* register_ring() {
+  Registry& reg = registry();
+  auto ring = std::make_unique<Ring>();
+  ring->thread = dense_thread_slot();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.rings.push_back(std::move(ring));
+  return reg.rings.back().get();
+}
+
+}  // namespace
+
+std::uint16_t intern_tag(const char* tag) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (std::size_t i = 0; i < reg.tags.size(); ++i) {
+    if (reg.tags[i] == tag) return static_cast<std::uint16_t>(i);
+  }
+  reg.tags.emplace_back(tag);
+  return static_cast<std::uint16_t>(reg.tags.size() - 1);
+}
+
+void trace_emit(std::uint16_t tag_id, std::uint64_t arg) {
+  Ring* r = tls_ring;
+  if (r == nullptr) r = tls_ring = register_ring();
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  Ring::Slot& s = r->slots[h & (kTraceRingEvents - 1)];
+  s.ts.store(trace_ticks(), std::memory_order_relaxed);
+  s.packed.store((std::uint64_t{tag_id} << 32) |
+                     static_cast<std::uint32_t>(arg),
+                 std::memory_order_relaxed);
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t trace_ticks() noexcept {
+#ifdef LOREN_SIM
+  if (scenario::detail::engine_active()) {
+    return scenario::detail::engine_step();
+  }
+#endif
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<TraceEvent> out;
+  for (const auto& r : reg.rings) {
+    const std::uint64_t h = r->head.load(std::memory_order_acquire);
+    const std::uint64_t n = h < kTraceRingEvents ? h : kTraceRingEvents;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Ring::Slot& s = r->slots[i & (kTraceRingEvents - 1)];
+      TraceEvent ev;
+      ev.ts = s.ts.load(std::memory_order_relaxed);
+      const std::uint64_t packed = s.packed.load(std::memory_order_relaxed);
+      const std::size_t tag_id = packed >> 32;
+      ev.tag = tag_id < reg.tags.size() ? reg.tags[tag_id].c_str() : "";
+      ev.arg = static_cast<std::uint32_t>(packed);
+      ev.thread = r->thread;
+      ev.seq = i;
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& r : reg.rings) {
+    const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+    if (h > kTraceRingEvents) dropped += h - kTraceRingEvents;
+  }
+  return dropped;
+}
+
+void trace_write_chrome_json(std::ostream& os) {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << ev.tag << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0"
+       << ",\"tid\":" << ev.thread << ",\"ts\":" << ev.ts
+       << ",\"args\":{\"arg\":" << ev.arg << "}}";
+  }
+  os << "]}";
+}
+
+std::string trace_chrome_json() {
+  std::ostringstream os;
+  trace_write_chrome_json(os);
+  return os.str();
+}
+
+void trace_reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& r : reg.rings) {
+    r->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace loren::telemetry

@@ -1,0 +1,101 @@
+// LOREN_TRACE: the event-level companion of the metrics registry — a
+// per-thread binary event ring with a chrome://tracing drain.
+//
+// Where MetricsRegistry answers "how often / how long on aggregate",
+// LOREN_TRACE answers "in what order": each macro hit appends one 16-byte
+// event {timestamp, tag, arg} to the calling thread's bounded ring
+// (overwrite-oldest, so a long run keeps the most recent window). Like
+// LOREN_SIM_POINT the macro compiles to ((void)0) unless the build opts
+// in (-DLOREN_TELEMETRY=ON): production binaries carry zero code and zero
+// data for it.
+//
+// Timestamps are raw TSC ticks (rdtsc / cntvct; steady_clock fallback).
+// Under -DLOREN_SIM, a thread bound to a running ScenarioEngine stamps
+// events with the engine's deterministic step counter instead, so the
+// drained trace of a pinned schedule is byte-identical across runs of the
+// same seed — scenario tests assert on exact event sequences
+// (tests/scenario_trace_test.cpp).
+//
+// The emit path is wait-free and allocation-free after a thread's first
+// event (one thread-local load, two relaxed stores, one release store of
+// the head); slots are atomic words so a concurrent drain is a benign
+// race on values, never UB. The drain itself is exact only at quiescence
+// — merge after joining (or parking) the traced threads, the same
+// contract as MetricsRegistry::snapshot().
+//
+// Tag strings are interned by content into small ids; each macro site
+// pays the intern once (function-local static). See docs/observability.md
+// for the format and placement guidance.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace loren::telemetry {
+
+/// Ring capacity in events (power of two). 4096 events * 16 B = 64 KiB
+/// per thread that ever traced.
+inline constexpr std::uint64_t kTraceRingEvents = 4096;
+
+/// Content-compared interning of a tag literal (cold; each LOREN_TRACE
+/// site calls it once via a function-local static). The pointee must
+/// outlive the process (string literals do).
+std::uint16_t intern_tag(const char* tag);
+
+/// Append one event to the calling thread's ring (registering the ring on
+/// the thread's first event). Wait-free after registration. `arg` is
+/// truncated to 32 bits — events are 16 bytes, by design.
+void trace_emit(std::uint16_t tag_id, std::uint64_t arg);
+
+/// The timestamp trace_emit stamps: engine step count when the calling
+/// thread is bound to a running ScenarioEngine (LOREN_SIM builds), raw
+/// TSC ticks otherwise.
+std::uint64_t trace_ticks() noexcept;
+
+/// One drained event, resolved and mergeable.
+struct TraceEvent {
+  std::uint64_t ts = 0;      // trace_ticks() at emit
+  std::uint64_t thread = 0;  // dense thread slot (worker id under the engine)
+  std::uint64_t seq = 0;     // per-thread emission index
+  std::uint32_t arg = 0;
+  const char* tag = "";      // interned string, process lifetime
+};
+
+/// Merge every ring into one list sorted by (ts, thread, seq). Exact at
+/// quiescence (see file comment); events overwritten by ring wraparound
+/// are gone (count them via trace_dropped()).
+std::vector<TraceEvent> trace_snapshot();
+
+/// Total events lost to overwrite-oldest across all rings.
+std::uint64_t trace_dropped();
+
+/// trace_snapshot() rendered as chrome://tracing "trace event" JSON
+/// (instant events; ts = raw ticks). Open in chrome://tracing or Perfetto.
+void trace_write_chrome_json(std::ostream& os);
+std::string trace_chrome_json();
+
+/// Empty every ring (head reset; interned tags keep their ids). Same
+/// quiescence contract as the drain. Lets one process compare traces of
+/// two runs byte-for-byte.
+void trace_reset();
+
+}  // namespace loren::telemetry
+
+// The instrumentation macro. `tag` must be a string literal with a stable
+// dotted name ("subsystem.step" — same convention as LOREN_SIM_POINT);
+// `arg` any integer-ish payload (truncated to 32 bits). Placement rule of
+// thumb: trace the *decision*, not the loop body — events are cheap but
+// rings are bounded.
+#ifdef LOREN_TELEMETRY
+#define LOREN_TRACE(tag, arg)                                         \
+  do {                                                                \
+    static const std::uint16_t loren_trace_id_ =                      \
+        ::loren::telemetry::intern_tag(tag);                          \
+    ::loren::telemetry::trace_emit(                                   \
+        loren_trace_id_, static_cast<std::uint64_t>(arg));            \
+  } while (0)
+#else
+#define LOREN_TRACE(tag, arg) ((void)0)
+#endif

@@ -11,6 +11,13 @@ Oversubscribed cells (threads flagged oversubscribed in *either* run's
 thread_counts_meta) measure timeslicing on that machine, not scaling;
 they are compared with the loosest threshold and labelled in the table.
 
+The optional "metrics" block (registry snapshots from the telemetry-on
+bench cells, see docs/observability.md) is display-only: when both files
+carry it, the probe-length p50/p99 shifts are printed so a distribution
+change is visible next to the throughput ratios, but no metric ever
+feeds a threshold — log2-bucket quantiles are too coarse to gate on,
+and latency ticks are machine-specific.
+
 Usage:
     tools/bench_diff.py BASELINE FRESH [--threshold R] [--quiet]
 
@@ -65,6 +72,24 @@ def key(row):
 def fmt_key(k):
     scenario, variant, threads = k
     return f"{scenario}/{variant}@{threads}"
+
+
+def metric_deltas(base, fresh):
+    """Pairs of (cell key, histogram name, base hist, fresh hist) for the
+    probe-length histograms present in both runs' metrics blocks."""
+    def rows(data):
+        out = {}
+        for m in data.get("metrics", []):
+            k = (m["scenario"], m["variant"], m["threads"])
+            for name, h in m.get("histograms", {}).items():
+                if name.endswith(".probe_len"):
+                    out[(k, name)] = h
+        return out
+
+    b_rows, f_rows = rows(base), rows(fresh)
+    return [(k, name, b_rows[(k, name)], h)
+            for (k, name), h in sorted(f_rows.items())
+            if (k, name) in b_rows]
 
 
 def main():
@@ -131,6 +156,16 @@ def main():
         for ratio, threshold, k, b_ips, f_ips, note in flagged:
             print(f"{fmt_key(k):<{wid}}  {ratio:>6.2f}  {threshold:>6.2f}  "
                   f"{b_ips:>12.0f}  {f_ips:>12.0f}  {note}")
+        print()
+
+    deltas = metric_deltas(base, fresh)
+    if deltas and not args.quiet:
+        print("probe-length distributions (display only, not thresholded):")
+        for k, name, bh, fh in deltas:
+            print(f"  {fmt_key(k)} {name}: "
+                  f"p50 {bh['p50']} -> {fh['p50']}, "
+                  f"p99 {bh['p99']} -> {fh['p99']} "
+                  f"(n={bh['count']} -> {fh['count']})")
         print()
 
     cpu = base.get("cpu_model", "unknown cpu")
