@@ -70,6 +70,7 @@
 #include <vector>
 
 #include "elastic/elastic_service.h"
+#include "platform/cacheline.h"
 #include "platform/poisson.h"
 #include "platform/rng.h"
 #include "renaming/batch_layout.h"
@@ -172,7 +173,7 @@ struct Result {
   double items_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
 };
 
-struct alignas(64) WorkerCount {
+struct alignas(loren::kCacheLine) WorkerCount {
   std::uint64_t ops = 0;
   std::uint64_t failed = 0;
   double seconds = 0;  // this worker's measured region, start to stop

@@ -540,6 +540,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
     // really had fewer than the remaining demand free. That is one
     // pressure event for the whole batch — not one per missing name — and,
     // like acquire()'s true-exhaustion path, grounds for growing now.
+    // sim:exempt(streak bookkeeping; the claim RMWs carry the sim points)
     miss_streak_.fetch_add(1, std::memory_order_relaxed);
     if (!options_.auto_grow || !grow_from(seen_gen)) break;
   }
@@ -719,6 +720,7 @@ bool ElasticRenamingService::resize_locked(std::uint64_t target) {
 
 int ElasticRenamingService::find_free_tag_locked() const {
   for (std::uint32_t t = 0; t < kMaxGroups; ++t) {
+    // mo:relaxed-ok(nullptr scan under resize_mu_, the only writer; no deref)
     if (groups_[t].load(std::memory_order_relaxed) == nullptr) {
       return static_cast<int>(t);
     }
@@ -790,6 +792,7 @@ void ElasticRenamingService::maintenance() {
     // Low watermark — but only shrink once it is *sustained* across
     // consecutive samples, mirroring the grow-side miss streak.
     const std::uint32_t streak =
+        // sim:exempt(maintenance-only counter under resize_mu_; no races)
         low_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (streak >= options_.shrink_low_threshold) resize_locked(h / 2);
   } else {

@@ -332,21 +332,41 @@ class ElasticRenamingService {
 
   /// RCU-published pointers: the live group (acquire path) and the tag
   /// table (release path). Dereferenced only under an epoch pin.
+  // mo: acquire, release, relaxed -- RCU pointer: release-publish on swap,
+  // acquire-load before any deref (under an epoch pin); relaxed only for
+  // pointer-identity checks under resize_mu_, which wrote the pointer.
   std::atomic<ShardGroup*> live_group_{nullptr};
+  // mo: acquire, release, relaxed -- tag table: release-publish with the
+  // swap, acquire-load before deref on the release path; relaxed for
+  // nullptr slot scans under resize_mu_ (use sites carry mo:relaxed-ok —
+  // the std::array wrapper hides the element type from the decl index).
   std::array<std::atomic<ShardGroup*>, kMaxGroups> groups_{};
 
   /// Lock-free mirrors of the live group's geometry so capacity()/holders()
   /// never dereference a pointer that a concurrent resize might retire —
   /// and so the name-cache fast paths can validate a name's tag and range
   /// without pinning the epoch.
+  // mo: acquire, release -- geometry mirror: release-published with the
+  // group swap, acquire-read by the name-cache range checks.
   std::atomic<std::uint64_t> live_local_capacity_{0};
+  // mo: release, relaxed -- release-published with the group swap; relaxed
+  // reads feed holders()/maintenance() sizing hints, never a deref.
   std::atomic<std::uint64_t> live_holders_{0};
+  // mo: acquire, release -- published with the swap; acquire-read to stamp
+  // per-thread stashes with the tag they must match.
   std::atomic<std::uint32_t> live_tag_{0};
 
+  // mo: acquire, release, relaxed -- resize ticket: release-incremented
+  // after each swap, acquire-read to detect a missed swap; relaxed inside
+  // maintenance(), which holds resize_mu_ and so cannot race a writer.
   std::atomic<std::uint64_t> generation_{0};
+  // mo: relaxed -- contended-acquire streak heuristic; a lost update only
+  // delays a grow decision, it cannot corrupt state.
   std::atomic<std::uint32_t> miss_streak_{0};
   /// Consecutive low-watermark observations (maintenance() only, under
   /// resize_mu_); plain int would do but keeps the header self-consistent.
+  // mo: relaxed -- written only under resize_mu_; atomic for the header's
+  // self-consistency, not for cross-thread ordering.
   std::atomic<std::uint32_t> low_streak_{0};
 
   /// Detailed-mode sampling: one observed op (trace_ticks() pair +

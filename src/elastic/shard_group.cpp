@@ -70,6 +70,7 @@ std::int64_t ShardGroup::probe_segment(std::uint64_t si, Xoshiro256& rng,
   }
   for (const auto* slot = first; slot != schedule_->schedule.end(); ++slot) {
     const std::uint64_t x = slot->offset + rng.below(slot->size);
+    // sim:exempt(forwards to the arena RMW, which carries the sim point)
     if (seg.test_and_set(x)) {
       *late = (slot - first) >= kMigrateThreshold;
       if (stats != nullptr) {

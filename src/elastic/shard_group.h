@@ -187,8 +187,14 @@ class ShardGroup {
   std::unique_ptr<BitmapArena> bitmap_;
   std::vector<ArenaSegment> segments_;
   StripedCounter live_;
+  // mo: acquire, release -- retirement flag: retire() release-stores it
+  // last so an acquire reader that sees true also sees epoch and ticks.
   std::atomic<bool> retired_{false};
+  // mo: relaxed -- payload ordered by the retired_ release/acquire pair;
+  // never read before retired() observes true.
   std::atomic<std::uint64_t> retire_epoch_{0};
+  // mo: relaxed -- payload ordered by the retired_ release/acquire pair;
+  // feeds the quiescence-wait histogram only.
   std::atomic<std::uint64_t> retire_ticks_{0};
 };
 

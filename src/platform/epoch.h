@@ -52,6 +52,10 @@ class EpochDomain {
   static constexpr std::uint64_t kIdle = 0;
 
   struct alignas(kCacheLine) Slot {
+    // mo: seq_cst, release, relaxed -- pin publication: the seq_cst
+    // store/scan pair closes the publish-vs-advance race; the release
+    // unpin pairs with quiesced()'s read; relaxed only re-reads the
+    // guard's own last store for the trace.
     std::atomic<std::uint64_t> pinned{kIdle};
   };
 
@@ -131,7 +135,11 @@ class EpochDomain {
   }
 
  private:
+  // mo: seq_cst, acquire -- advance()'s seq_cst RMW orders against pin
+  // publication; acquire loads just snapshot the current epoch.
   alignas(kCacheLine) std::atomic<std::uint64_t> global_{1};
+  // sim:lock-ok(cold slot registry; its critical sections -- vector
+  // push_back and the quiesced() scan -- never hit a sim point)
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Slot>> slots_;
 };

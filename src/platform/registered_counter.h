@@ -31,6 +31,8 @@ namespace loren {
 class RegisteredCounter {
  public:
   struct alignas(kCacheLine) Node {
+    // mo: relaxed -- single-writer statistic: only the owning thread
+    // writes; readers tolerate a stale snapshot (sum() is advisory).
     std::atomic<std::int64_t> v{0};
   };
 

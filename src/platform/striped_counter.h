@@ -54,6 +54,8 @@ class StripedCounter {
   /// dense thread slot in its thread-local context — see service.cpp —
   /// because it needs the raw slot, not one folded to kStripes.)
   static unsigned thread_stripe() {
+    // mo: relaxed -- one-time stripe ticket; uniqueness is all that
+    // matters, no ordering with any other location.
     static std::atomic<unsigned> next{0};
     thread_local const unsigned slot =
         next.fetch_add(1, std::memory_order_relaxed);
@@ -62,6 +64,8 @@ class StripedCounter {
 
  private:
   struct alignas(kCacheLine) Stripe {
+    // mo: relaxed -- striped statistic: per-stripe adds race benignly;
+    // sum() is an advisory snapshot, never a synchronization point.
     std::atomic<std::int64_t> v{0};
   };
   std::array<Stripe, kStripes> stripes_{};

@@ -26,6 +26,8 @@ ConcurrentRenamer::ConcurrentRenamer(std::uint64_t n, double epsilon,
       schedule_(algo_.layout()) {}
 
 Name ConcurrentRenamer::get_name() {
+  // sim:exempt(RNG ticket draw; the probe RMWs inside the arena are the
+  // schedulable steps)
   ArenaEnv env(cells_, seed_,
                ticket_.fetch_add(1, std::memory_order_relaxed));
   const Name name = sim::run_sync(algo_.get_name(env));
@@ -34,15 +36,19 @@ Name ConcurrentRenamer::get_name() {
 }
 
 Name ConcurrentRenamer::get_name_direct() {
+  // sim:exempt(RNG ticket draw; the probe RMWs inside the arena are the
+  // schedulable steps)
   Xoshiro256 rng(mix_seed(seed_, ticket_.fetch_add(1, std::memory_order_relaxed)));
   for (const auto& slot : schedule_) {
     const std::uint64_t x = slot.offset + rng.below(slot.size);
+    // sim:exempt(forwards to the arena RMW, which carries the sim point)
     if (cells_.test_and_set(x)) {
       assigned_.add(1);
       return static_cast<Name>(x);
     }
   }
   for (std::uint64_t u = 0; u < schedule_.total(); ++u) {  // backup sweep
+    // sim:exempt(forwards to the arena RMW, which carries the sim point)
     if (cells_.test_and_set(u)) {
       assigned_.add(1);
       return static_cast<Name>(u);
@@ -98,6 +104,8 @@ AdaptiveConcurrentRenamer::AdaptiveConcurrentRenamer(
 }
 
 std::optional<Name> AdaptiveConcurrentRenamer::try_get_name() {
+  // sim:exempt(RNG ticket draw; the probe RMWs inside the arena are the
+  // schedulable steps)
   ArenaEnv env(cells_, seed_,
                ticket_.fetch_add(1, std::memory_order_relaxed));
   try {

@@ -82,6 +82,8 @@ class ConcurrentRenamer {
   /// in the seed they shared one, so every acquisition paid two RMW
   /// bounces on the same hot line. The assigned counter is additionally
   /// striped so acquire/release never serialize on a single cell.
+  // mo: relaxed -- per-caller RNG ticket: uniqueness only, no ordering
+  // with the cells the caller then probes.
   alignas(TasArena::kCacheLine) std::atomic<std::uint32_t> ticket_{0};
   alignas(TasArena::kCacheLine) StripedCounter assigned_;
 };
@@ -108,6 +110,8 @@ class AdaptiveConcurrentRenamer {
   /// objects in one address space, so density beats padding here.
   TasArena cells_;
   AdaptiveReBatching algo_;
+  // mo: relaxed -- per-caller RNG ticket: uniqueness only, no ordering
+  // with the cells the caller then probes.
   alignas(TasArena::kCacheLine) std::atomic<std::uint32_t> ticket_{0};
 };
 

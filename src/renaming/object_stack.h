@@ -38,6 +38,8 @@ class ReBatchingStack {
   BatchLayoutParams layout_;
   sim::Location base_;
   std::uint64_t max_index_;
+  // sim:lock-ok(cold instantiation registry; first-touch construction
+  // and index scans never hit a sim point)
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ReBatching>> objects_;  // objects_[i-1] == R_i
   std::vector<sim::Location> ends_;

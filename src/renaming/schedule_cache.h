@@ -59,6 +59,8 @@ class ScheduleCache {
 
  private:
   BatchLayoutParams params_;
+  // sim:lock-ok(cold schedule-construction cache; map lookups and the
+  // one-time layout build never hit a sim point)
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<const CachedSchedule>> entries_;
 };

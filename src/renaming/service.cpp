@@ -206,6 +206,7 @@ Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
   }
   for (const auto* slot = first; slot != shard.schedule.end(); ++slot) {
     const std::uint64_t x = slot->offset + rng.below(slot->size);
+    // sim:exempt(forwards to the arena RMW, which carries the sim point)
     if (shard.seg.test_and_set(x)) {
       late = (slot - first) >= kMigrateThreshold;
       if (probes != nullptr) {
@@ -582,6 +583,7 @@ void RenamingService::reset() {
   // Invalidate every thread's stash: contents are discarded (not spilled)
   // on the owning thread's next call, because the epoch bumps above
   // already made the stashed cells winnable again.
+  // sim:exempt(reset() requires external quiescence; nothing races it)
   cache_gen_.fetch_add(1, std::memory_order_relaxed);
 }
 

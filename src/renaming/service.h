@@ -391,6 +391,9 @@ class RenamingService {
   /// with an older value discards its contents on its owner's next call
   /// (the epoch bump already freed those cells). Starts at 1 so a fresh
   /// stash (gen 0) always re-tags before serving.
+  // mo: relaxed -- invalidation stamp: readers only compare it against
+  // their stash tag; reset() already requires external quiescence, so the
+  // bump never races the arena epoch bump it trails.
   std::atomic<std::uint64_t> cache_gen_{1};
   /// Internal registry fallback (engaged when options.telemetry.registry
   /// is null) — all counting goes through a registry either way.

@@ -169,7 +169,10 @@ class NameStash {
 /// Process-unique service instance id; ids start at 1 so 0 can mean
 /// "empty" in the per-thread tables forever.
 inline std::uint64_t next_service_instance_id() {
+  // mo: relaxed -- id ticket: uniqueness only, no ordering contract.
   static std::atomic<std::uint64_t> next{1};
+  // sim:exempt(one-time id draw at service construction, not an
+  // algorithm step)
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -201,7 +204,10 @@ inline void force_thread_slot(std::uint64_t slot) {
 inline std::uint64_t dense_thread_slot() {
   const std::uint64_t forced = detail::forced_thread_slot_ref();
   if (forced != ~std::uint64_t{0}) return forced;
+  // mo: relaxed -- slot ticket: uniqueness only, no ordering contract.
   static std::atomic<std::uint64_t> next{0};
+  // sim:exempt(one-time per-thread slot draw; the scenario engine pins
+  // slots via force_thread_slot anyway)
   thread_local const std::uint64_t slot =
       next.fetch_add(1, std::memory_order_relaxed);
   return slot;

@@ -45,6 +45,7 @@ class ArenaSegment {
   }
 
   bool test_and_set(std::uint64_t i) {
+    // sim:exempt(forwards to the arena RMW, which carries the sim point)
     return bitmap_ != nullptr ? bitmap_->test_and_set(base_ + i)
                               : arena_->test_and_set(base_ + i);
   }

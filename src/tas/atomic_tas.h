@@ -33,6 +33,8 @@ class AtomicTasArray {
 
   /// Returns true iff this call won the TAS (flipped the cell from 0).
   bool test_and_set(std::uint64_t i) {
+    // sim:exempt(seed substrate: the coroutine simulator schedules it at
+    // Env-op granularity, so a yield inside the RMW adds nothing)
     return cells_[i].exchange(1, std::memory_order_acq_rel) == 0;
   }
   [[nodiscard]] std::uint64_t read(std::uint64_t i) const {
@@ -46,6 +48,8 @@ class AtomicTasArray {
   /// race-free primitive for long-lived release: the caller can validate
   /// that the cell really was held without a check-then-act window).
   std::uint64_t exchange_clear(std::uint64_t i) {
+    // sim:exempt(seed substrate: the coroutine simulator schedules it at
+    // Env-op granularity, so a yield inside the RMW adds nothing)
     return cells_[i].exchange(0, std::memory_order_acq_rel);
   }
 
@@ -55,6 +59,8 @@ class AtomicTasArray {
   /// O(size) — TasArena (tas_arena.h) resets in O(1) via an epoch bump.
   void reset() {
     for (std::uint64_t i = 0; i < size_; ++i) {
+      // mo:relaxed-ok(reset() requires external quiescence; the trailing
+      // seq_cst fence publishes the cleared cells)
       cells_[i].store(0, std::memory_order_relaxed);
     }
     std::atomic_thread_fence(std::memory_order_seq_cst);

@@ -124,8 +124,12 @@ class BitmapArena {
     ensure_fresh(s, e);
     const std::uint64_t bit = std::uint64_t{1} << (i % kBitsPerWord);
     if (v != 0) {
+      // sim:exempt(seed-compat baseline surface; the concurrent paths go
+      // through test_and_set/try_release, which carry the sim points)
       s.bits.fetch_or(bit, std::memory_order_acq_rel);
     } else {
+      // sim:exempt(seed-compat baseline surface; the concurrent paths go
+      // through test_and_set/try_release, which carry the sim points)
       s.bits.fetch_and(~bit, std::memory_order_acq_rel);
     }
   }
@@ -249,6 +253,7 @@ class BitmapArena {
   /// stale (words re-zero lazily on first touch). Same contract as
   /// TasArena::reset(): requires external quiescence.
   void reset() {
+    // sim:exempt(reset() requires external quiescence; nothing races it)
     epoch_.fetch_add(kEpochStep, std::memory_order_acq_rel);
     LOREN_TRACE("bitmap.reset", epoch_.load(std::memory_order_relaxed));
   }
@@ -281,7 +286,13 @@ class BitmapArena {
   static constexpr std::uint64_t kEpochStep = 2;
 
   struct WordSlot {
+    // mo: acquire, acq_rel, relaxed -- occupancy mask: acq_rel RMWs
+    // decide claims, acquire snapshots pair with them; the one relaxed
+    // store (refresh zero) is published by gen's release store.
     std::atomic<std::uint64_t> bits{0};
+    // mo: acquire, release, acq_rel, relaxed -- refresh protocol stamp:
+    // CAS to the odd marker, release-publish of the fresh epoch pairing
+    // with acquire readers; relaxed only for the construction-time stamp.
     std::atomic<std::uint64_t> gen{0};
   };
 
@@ -342,6 +353,9 @@ class BitmapArena {
   std::unique_ptr<std::byte[]> storage_;
   std::byte* data_ = nullptr;
   /// Own cache line for the same reason as TasArena::epoch_.
+  // mo: relaxed, acq_rel -- epoch stamp: same contract as
+  // TasArena::epoch_ (reset() requires external quiescence; relaxed
+  // reads are current by that contract).
   alignas(kCacheLine) std::atomic<std::uint64_t> epoch_{kFirstEpoch};
 };
 

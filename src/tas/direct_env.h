@@ -30,6 +30,8 @@ class BasicDirectEnv final : public sim::Env {
     ++steps_;
     switch (kind) {
       case sim::OpKind::kTas:
+        // sim:exempt(forwards to the substrate RMW; scheduling already
+        // happened when the Env op was issued)
         return memory_->test_and_set(loc) ? 1 : 0;
       case sim::OpKind::kRead:
         return memory_->read(loc);

@@ -103,6 +103,8 @@ class TasArena {
   /// the simulator/baseline surface; concurrent production code wants
   /// test_and_set/try_release, whose outcomes are race-decided.
   void write(std::uint64_t i, std::uint64_t v) {
+    // mo:relaxed-ok(the epoch read inside the store's value operand: the
+    // stamp only has to be epoch-current, the release store publishes it)
     cell(i).store(v != 0 ? epoch_.load(std::memory_order_relaxed) : 0,
                   std::memory_order_release);
   }
@@ -154,6 +156,7 @@ class TasArena {
   /// in-flight test_and_set/release (an in-flight op may land in either
   /// epoch); callers quiesce first.
   void reset() {
+    // sim:exempt(reset() requires external quiescence; nothing races it)
     epoch_.fetch_add(1, std::memory_order_acq_rel);
     LOREN_TRACE("tas.reset", epoch_.load(std::memory_order_relaxed));
   }
@@ -189,6 +192,9 @@ class TasArena {
   /// writes it; sharing a line with `size_`/`data_` would be harmless
   /// (they are never written after construction) but padding makes the
   /// read-mostly intent explicit.
+  // mo: relaxed, acq_rel -- epoch stamp: relaxed reads suffice because
+  // reset() requires external quiescence (no racing bump to order with);
+  // the acq_rel bump is belt-and-braces for the quiesce boundary itself.
   alignas(kCacheLine) std::atomic<std::uint64_t> epoch_{1};
 };
 

@@ -130,8 +130,14 @@ class MetricsRegistry {
    private:
     friend class MetricsRegistry;
     struct Hist {
+      // mo: relaxed -- single-writer stripe statistic (bump());
+      // snapshot() tolerates stale values by design.
       std::atomic<std::uint64_t> count{0};
+      // mo: relaxed -- single-writer stripe statistic (bump());
+      // snapshot() tolerates stale values by design.
       std::atomic<std::uint64_t> sum{0};
+      // mo: relaxed -- single-writer stripe statistic (bump());
+      // snapshot() tolerates stale values by design.
       std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
     };
     // Single-writer: an ordinary increment of an atomic word, never an
@@ -140,6 +146,8 @@ class MetricsRegistry {
       w.store(w.load(std::memory_order_relaxed) + d,
               std::memory_order_relaxed);
     }
+    // mo: relaxed -- single-writer stripe statistic (bump()); snapshot()
+    // tolerates stale values by design.
     alignas(kCacheLine) std::atomic<std::uint64_t> counters_[kMaxCounters] = {};
     Hist hists_[kMaxHistograms] = {};
   };

@@ -29,9 +29,15 @@ struct Ring {
   // owner, so a racing drain reads torn *pairs* at worst, never UB. The
   // release store of head orders the slot writes before publication.
   struct Slot {
+    // mo: relaxed -- owner-only store; a racing drain may read a torn
+    // pair (ts from one event, packed from another), never garbage.
     std::atomic<std::uint64_t> ts{0};
+    // mo: relaxed -- owner-only store; same torn-pair tolerance as ts.
     std::atomic<std::uint64_t> packed{0};
   };
+  // mo: release, acquire, relaxed -- publication cursor: the owner's
+  // release store orders the slot writes before the new head; drains
+  // acquire-read it. Relaxed is the owner re-reading its own cursor.
   std::atomic<std::uint64_t> head{0};  // total events ever emitted
   std::uint64_t thread = 0;            // dense slot of the owning thread
   Slot slots[kTraceRingEvents];

@@ -198,7 +198,9 @@ TEST(ElasticRegression, GuardedNamesStillRoundTrip) {
   EXPECT_EQ(svc.release_many(batch, got), 0u) << "double batch release";
   for (const Name n : names) {
     const bool was_batch = std::find(batch, batch + got, n) != batch + got;
-    if (!was_batch) EXPECT_TRUE(svc.release(n));
+    if (!was_batch) {
+      EXPECT_TRUE(svc.release(n));
+    }
   }
   // Stamped names ride through the stash too; flush for exact accounting.
   svc.flush_thread_cache();

@@ -157,9 +157,10 @@ TEST_P(RenamingOverRwTas, ReBatchingStaysCorrect) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Services, RenamingOverRwTas, ::testing::Values(0, 1),
-                         [](const auto& info) {
-                           return info.param == 0 ? std::string("Tournament")
-                                                  : std::string("Sifter");
+                         [](const auto& param_info) {
+                           return param_info.param == 0
+                                      ? std::string("Tournament")
+                                      : std::string("Sifter");
                          });
 
 TEST(RenamingOverRwTas, RegisterStepsCostMoreThanHardware) {

@@ -1,0 +1,26 @@
+// CL01 negative: the sanctioned alignment shapes — the project constant
+// (spelled bare and qualified) and a justified literal (an ABI contract,
+// not false-sharing padding).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/cacheline.h"
+
+namespace lint_fixture {
+
+struct alignas(loren::kCacheLine) Cl01PaddedOk {
+  // mo: relaxed -- single-writer statistic.
+  std::atomic<std::uint64_t> cl01_ok_ops{0};
+};
+
+class Cl01Negative {
+ private:
+  alignas(kCacheLine) std::uint64_t cl01_ok_word_ = 0;
+  // cl:raw-ok(16-byte ABI requirement of the cmpxchg16b pair, not
+  // cache-line padding)
+  alignas(16) std::uint64_t cl01_dword_pair_[2] = {0, 0};
+};
+
+}  // namespace lint_fixture

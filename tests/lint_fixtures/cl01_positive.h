@@ -1,0 +1,20 @@
+// CL01 positive: raw integer-literal alignas — the classic hard-coded 64
+// on a struct, and a hard-coded 128 on a member.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+struct alignas(64) Cl01PaddedCounter {  // lint-expect: CL01
+  // mo: relaxed -- single-writer statistic.
+  std::atomic<std::uint64_t> cl01_ops{0};
+};
+
+class Cl01Positive {
+ private:
+  alignas(128) std::uint64_t cl01_hot_word_ = 0;  // lint-expect: CL01
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,33 @@
+// LK01 negative: the sanctioned locking shapes — a SimMutex with guards
+// over it, and a std::mutex whose declaration carries the sim:lock-ok
+// justification (guards over it inherit the declaration's pass).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "platform/sim_point.h"
+
+namespace lint_fixture {
+
+class Lk01Negative {
+ public:
+  void yield_safe(int v) {
+    std::lock_guard<loren::SimMutex> lock(lk01_sim_mu_);
+    hot_.push_back(v);
+  }
+
+  void cold_path(int v) {
+    std::lock_guard<std::mutex> lock(lk01_registry_mu_);
+    cold_.push_back(v);
+  }
+
+ private:
+  mutable loren::SimMutex lk01_sim_mu_;
+  // sim:lock-ok(cold registry; push_back never hits a sim point)
+  mutable std::mutex lk01_registry_mu_;
+  std::vector<int> hot_;
+  std::vector<int> cold_;
+};
+
+}  // namespace lint_fixture

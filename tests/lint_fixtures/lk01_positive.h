@@ -1,0 +1,28 @@
+// LK01 positive: raw standard mutexes in (nominally) sim-visible code —
+// an unannotated std::mutex declaration, and a guard constructed over an
+// explicit std::mutex that no annotated declaration backs.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace lint_fixture {
+
+class Lk01Positive {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(lk01_raw_mu_);
+    items_.push_back(v);
+  }
+
+ private:
+  mutable std::mutex lk01_raw_mu_;  // lint-expect: LK01
+  std::vector<int> items_;
+};
+
+inline int lk01_loose_guard(std::mutex& lk01_orphan_mu) {  // lint-expect: LK01
+  std::lock_guard<std::mutex> lock(lk01_orphan_mu);  // lint-expect: LK01
+  return 1;
+}
+
+}  // namespace lint_fixture

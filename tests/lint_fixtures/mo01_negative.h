@@ -1,0 +1,26 @@
+// MO01 negative: well-formed contracts in every accepted shape — single
+// order, multi-order with comma, em-dash and double-dash separators, a
+// wrapped <why> clause, and a same-line annotation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+class Mo01Negative {
+ private:
+  // mo: seq_cst — total order demo; the em-dash separator form.
+  std::atomic<std::uint64_t> mo01_ok_seqcst_{0};
+
+  // mo: acquire, release -- publication pair: release on write,
+  // acquire on read, with the why clause wrapping onto a second line.
+  std::atomic<bool> mo01_ok_pair_{false};
+
+  std::atomic<int> mo01_ok_inline_{0};  // mo: relaxed -- statistic only
+
+  // mo: relaxed/acq_rel -- slash-separated order list form.
+  std::atomic<std::uint32_t> mo01_ok_slash_{0};
+};
+
+}  // namespace lint_fixture

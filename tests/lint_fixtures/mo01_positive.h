@@ -1,0 +1,23 @@
+// MO01 positive: atomic declarations that fail the memory-order-contract
+// rule — one with no annotation at all, one whose annotation is malformed
+// (unknown order name), one whose annotation lacks the <why> clause.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+class Mo01Positive {
+ private:
+  std::atomic<std::uint64_t> mo01_bare_{0};  // lint-expect: MO01
+
+  // mo: acquire_maybe -- not a real memory order, so the contract is
+  // malformed and the rule must still fire.
+  std::atomic<std::uint64_t> mo01_bad_order_{0};  // lint-expect: MO01
+
+  // mo: acquire, release
+  std::atomic<std::uint64_t> mo01_no_why_{0};  // lint-expect: MO01
+};
+
+}  // namespace lint_fixture

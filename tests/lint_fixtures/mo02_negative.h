@@ -1,0 +1,31 @@
+// MO02 negative: relaxed operations that are fine — one whose
+// declaration's contract includes 'relaxed', one carrying a site
+// mo:relaxed-ok justification on an otherwise non-relaxed contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+class Mo02Negative {
+ public:
+  void count() {
+    mo02_stat_.store(mo02_stat_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
+
+  bool sniff() const {
+    // mo:relaxed-ok(advisory pre-check; the caller re-reads with acquire
+    // before acting on the value)
+    return mo02_gate_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // mo: relaxed -- single-writer statistic; readers tolerate staleness.
+  std::atomic<std::uint64_t> mo02_stat_{0};
+  // mo: acquire, release -- gate flag published with its payload.
+  std::atomic<bool> mo02_gate_{false};
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,27 @@
+// MO02 positive: relaxed operations that break their declared contract —
+// one against a declaration whose contract has no 'relaxed', one on a
+// receiver with no declaration anywhere in the corpus.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+class Mo02Positive {
+ public:
+  bool peek() const {
+    return mo02_flag_.load(std::memory_order_relaxed);  // lint-expect: MO02
+  }
+
+  std::uint64_t poke(std::atomic<std::uint64_t>& mo02_external) {
+    return mo02_external.load(std::memory_order_relaxed);  // lint-expect: MO02
+  }
+
+ private:
+  // mo: acquire, release -- publication flag; relaxed reads would miss
+  // the payload the release store publishes.
+  std::atomic<bool> mo02_flag_{false};
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,41 @@
+// SP01 negative: covered RMWs — one preceded by a LOREN_SIM_POINT in the
+// same statement list, one inside a loop whose body carries the sim
+// point, and one justified with sim:exempt.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "platform/sim_point.h"
+
+namespace lint_fixture {
+
+class Sp01Negative {
+ public:
+  bool win() {
+    LOREN_SIM_POINT("fixture.win");
+    return sp01_cell_.exchange(1, std::memory_order_acq_rel) == 0;
+  }
+
+  std::uint64_t drain() {
+    std::uint64_t total = 0;
+    for (int i = 0; i < 4; ++i) {
+      LOREN_SIM_POINT("fixture.drain");
+      total += sp01_pool_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return total;
+  }
+
+  void rewind() {
+    // sim:exempt(reset-path bookkeeping; callers quiesce first)
+    sp01_pool_.fetch_add(4, std::memory_order_acq_rel);
+  }
+
+ private:
+  // mo: acq_rel -- one-shot cell decided by the exchange.
+  std::atomic<std::uint64_t> sp01_cell_{0};
+  // mo: acq_rel -- work pool counter stepped by RMWs.
+  std::atomic<std::uint64_t> sp01_pool_{4};
+};
+
+}  // namespace lint_fixture

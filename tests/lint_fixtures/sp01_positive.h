@@ -1,0 +1,35 @@
+// SP01 positive: atomic RMWs in (nominally) sim-visible code with no
+// LOREN_SIM_POINT anywhere in their enclosing statement list and no
+// sim:exempt justification — a fetch_add and a CAS loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+class Sp01Positive {
+ public:
+  std::uint64_t take_ticket() {
+    return sp01_ticket_.fetch_add(1, std::memory_order_acq_rel);  // lint-expect: SP01
+  }
+
+  bool claim() {
+    std::uint64_t cur = sp01_owner_.load(std::memory_order_acquire);
+    while (cur == 0) {
+      if (sp01_owner_.compare_exchange_weak(cur, 1, std::memory_order_acq_rel,  // lint-expect: SP01
+                                            std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  // mo: acq_rel -- ticket dispenser; the RMW is the whole protocol.
+  std::atomic<std::uint64_t> sp01_ticket_{0};
+  // mo: acquire, acq_rel -- ownership word claimed by CAS.
+  std::atomic<std::uint64_t> sp01_owner_{0};
+};
+
+}  // namespace lint_fixture

@@ -154,7 +154,9 @@ TEST(NameCache, OverflowSpillsThroughTheSharedPath) {
     const Name n = service.acquire();
     ASSERT_GE(n, 0);
     EXPECT_TRUE(seen.insert(n).second) << "duplicate " << n;
-    if (i < 4) EXPECT_TRUE(hot.count(n)) << "stash served a non-stashed name";
+    if (i < 4) {
+      EXPECT_TRUE(hot.count(n)) << "stash served a non-stashed name";
+    }
   }
   EXPECT_EQ(service.names_live(), 9u);
 }

@@ -32,6 +32,9 @@ using scenario::ScenarioEngine;
 using Worker = ScenarioEngine::Worker;
 using sim::Name;
 
+// The helpers are only called from the LOREN_TELEMETRY test bodies; a
+// telemetry-off sim build would flag them unused under -Werror.
+#ifdef LOREN_TELEMETRY
 ElasticOptions trace_options() {
   ElasticOptions opts;
   opts.epsilon = 0.5;
@@ -90,6 +93,7 @@ std::string traced_run(std::uint64_t seed) {
                     << eng.trace();
   return telemetry::trace_chrome_json();
 }
+#endif  // LOREN_TELEMETRY
 
 TEST(ScenarioTrace, SameSeedDrainsByteIdenticalTrace) {
 #ifndef LOREN_TELEMETRY

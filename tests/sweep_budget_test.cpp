@@ -68,7 +68,9 @@ TEST(SweepBudget, RenamingServiceBatchShortfallCountsBudget) {
   held.resize(got);
   Name extra[8];
   const std::uint64_t over = svc.acquire_many(8, extra);
-  if (over < 8) EXPECT_GE(svc.sweep_budget_exhausted(), 1u);
+  if (over < 8) {
+    EXPECT_GE(svc.sweep_budget_exhausted(), 1u);
+  }
   for (std::uint64_t i = 0; i < over; ++i) EXPECT_TRUE(svc.release(extra[i]));
   for (const Name n : held) EXPECT_TRUE(svc.release(n));
   EXPECT_EQ(svc.names_live(), 0u);

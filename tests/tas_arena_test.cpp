@@ -131,8 +131,8 @@ TEST_P(TasArenaLayouts, WinPublishesDataToLosers) {
 INSTANTIATE_TEST_SUITE_P(BothLayouts, TasArenaLayouts,
                          ::testing::Values(ArenaLayout::kPadded,
                                            ArenaLayout::kPacked),
-                         [](const auto& info) {
-                           return info.param == ArenaLayout::kPadded
+                         [](const auto& param_info) {
+                           return param_info.param == ArenaLayout::kPadded
                                       ? "padded"
                                       : "packed";
                          });

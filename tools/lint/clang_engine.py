@@ -1,0 +1,177 @@
+"""libclang extraction engine for loren-lint.
+
+When the clang python bindings (python3-clang + libclang.so) are
+installed, this engine walks the real AST via clang.cindex and produces
+the same Extraction records as the lexical engine (model.py), with exact
+semantic answers for the questions the lexical engine approximates:
+whether a declaration's type really is std::atomic, which overload a
+member call binds to, and which block a statement belongs to.
+
+The engine is OPT-IN (`--engine clang` or `--engine auto`): the default
+container toolchain for this project does not ship libclang, so the
+lexical engine is the one CI exercises. Annotation attachment reuses the
+lexical model — comments are not part of the clang AST at the fidelity
+we need, and one annotation grammar implementation beats two.
+
+Every entry point degrades loudly: import/availability problems raise
+EngineUnavailable so the driver can fall back (or fail, under
+`--engine clang`) with a clear message.
+"""
+
+from __future__ import annotations
+
+import os
+
+from model import (AlignasSite, AtomicDecl, AtomicOp, Extraction, LockSite,
+                   MutexDecl, SourceModel)
+
+
+class EngineUnavailable(RuntimeError):
+    pass
+
+
+def _import_cindex():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as e:
+        raise EngineUnavailable(
+            "python clang bindings not importable "
+            f"({e}); install python3-clang + libclang, or use --engine lex"
+        ) from e
+    try:
+        cindex.Index.create()
+    except Exception as e:  # libclang.so missing/mismatched
+        raise EngineUnavailable(
+            f"libclang not loadable ({e}); use --engine lex") from e
+    return cindex
+
+
+def available() -> bool:
+    try:
+        _import_cindex()
+        return True
+    except EngineUnavailable:
+        return False
+
+
+_RMW_METHODS = {
+    "exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+    "test_and_set",
+}
+_ATOMIC_METHODS = _RMW_METHODS | {"load", "store", "clear"}
+_MUTEX_TYPES = {"std::mutex", "std::recursive_mutex", "std::timed_mutex",
+                "std::recursive_timed_mutex", "std::shared_mutex"}
+_GUARD_TYPES = {"std::lock_guard", "std::unique_lock", "std::scoped_lock",
+                "std::shared_lock"}
+_ORDER_SPELLING = {
+    "memory_order_relaxed", "memory_order_consume", "memory_order_acquire",
+    "memory_order_release", "memory_order_acq_rel", "memory_order_seq_cst",
+}
+
+
+def _compile_args(compdb_dir, path, cindex):
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+        cmds = db.getCompileCommands(path)
+        if cmds:
+            args = list(cmds[0].arguments)[1:]  # drop the compiler itself
+            # Strip -c/-o and the source file; keep -I/-D/-std.
+            out, skip = [], False
+            for a in args:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", path) or a.endswith(os.path.basename(path)):
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                out.append(a)
+            return out
+    except Exception:
+        pass
+    return ["-std=c++20", "-xc++"]
+
+
+def extract_file(path: str, compdb_dir=None) -> Extraction:
+    cindex = _import_cindex()
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    # The lexical model supplies annotation attachment and the sim-point
+    # scope test (macro invocations survive in the token stream, not the
+    # -P AST).
+    lexmodel = SourceModel(path, text)
+    lex_ex = lexmodel.extract()
+    sim_point_by_line = {op.line: op.has_sim_point_in_scope
+                         for op in lex_ex.atomic_ops}
+
+    index = cindex.Index.create()
+    args = _compile_args(compdb_dir, path, cindex) if compdb_dir else [
+        "-std=c++20", "-xc++"]
+    tu = index.parse(path, args=args,
+                     options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+
+    ex = Extraction(path)
+    ex.expects = lex_ex.expects
+
+    def canonical(t):
+        return t.get_canonical().spelling
+
+    def ann_for(line):
+        return lexmodel.annotations_for_lines(line, line)
+
+    def visit(cur):
+        kind = cur.kind
+        if cur.location.file and cur.location.file.name != path:
+            return  # stay in the primary file; headers are scanned directly
+        K = cindex.CursorKind
+        if kind in (K.FIELD_DECL, K.VAR_DECL):
+            tspell = canonical(cur.type)
+            if "atomic<" in tspell or tspell.endswith("atomic_flag"):
+                ex.atomic_decls.append(AtomicDecl(
+                    cur.spelling, cur.location.line,
+                    ann_for(cur.location.line), path))
+            elif tspell in _MUTEX_TYPES:
+                ex.mutex_decls.append(MutexDecl(
+                    cur.spelling, cur.location.line, False,
+                    ann_for(cur.location.line), path))
+            elif tspell.endswith("SimMutex"):
+                ex.mutex_decls.append(MutexDecl(
+                    cur.spelling, cur.location.line, True,
+                    ann_for(cur.location.line), path))
+            elif any(tspell.startswith(g) for g in _GUARD_TYPES):
+                arg_name = None
+                explicit = any(m in tspell for m in _MUTEX_TYPES)
+                for child in cur.walk_preorder():
+                    if child.kind in (K.DECL_REF_EXPR, K.MEMBER_REF_EXPR) \
+                            and child.spelling:
+                        arg_name = child.spelling
+                        break
+                ex.lock_sites.append(LockSite(
+                    arg_name, explicit, cur.location.line,
+                    ann_for(cur.location.line), file=path))
+        elif kind == K.CALL_EXPR and cur.spelling in _ATOMIC_METHODS:
+            recv = None
+            orders = []
+            for child in cur.walk_preorder():
+                if child.kind == K.MEMBER_REF_EXPR and \
+                        child.spelling == cur.spelling:
+                    for sub in child.get_children():
+                        if sub.kind in (K.MEMBER_REF_EXPR, K.DECL_REF_EXPR):
+                            recv = sub.spelling
+                if child.kind == K.DECL_REF_EXPR and \
+                        child.spelling in _ORDER_SPELLING:
+                    orders.append(child.spelling)
+            line = cur.location.line
+            op = AtomicOp(recv, cur.spelling, orders, line, ann_for(line),
+                          file=path)
+            op.has_sim_point_in_scope = sim_point_by_line.get(line, False)
+            ex.atomic_ops.append(op)
+        for child in cur.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    # alignas() does not surface as a cursor; the lexical sites are exact.
+    ex.alignas_sites = lex_ex.alignas_sites
+    return ex

@@ -1,0 +1,65 @@
+"""loren-lint rule registry.
+
+Each rule module exposes RULE_ID, SUMMARY, and run(ctx) -> list[Finding].
+`ctx` is a RuleContext holding every file's Extraction plus the global
+declaration indexes (atomic contracts, mutex declarations) the
+cross-file resolution steps need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from . import cacheline_discipline, lock_discipline, mo_audit, sim_coverage
+
+MODULES = (mo_audit, sim_coverage, lock_discipline, cacheline_discipline)
+ALL_RULE_IDS = tuple(rid for m in MODULES for rid in m.RULE_IDS)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    rule: str
+    file: str
+    line: int
+    message: str
+
+    def render(self, root=None):
+        path = self.file
+        if root is not None:
+            import os
+            try:
+                path = os.path.relpath(path, root)
+            except ValueError:
+                pass
+        return f"{path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class RuleContext:
+    extractions: list                 # per-file Extraction, every scanned file
+    scopes: dict                      # rule id -> predicate(path) -> bool
+    atomic_index: dict = None         # name -> [AtomicDecl]
+    mutex_index: dict = None          # name -> [MutexDecl]
+
+    def __post_init__(self):
+        self.atomic_index = {}
+        self.mutex_index = {}
+        for ex in self.extractions:
+            for d in ex.atomic_decls:
+                self.atomic_index.setdefault(d.name, []).append(d)
+            for d in ex.mutex_decls:
+                self.mutex_index.setdefault(d.name, []).append(d)
+
+    def in_scope(self, rule_id, path):
+        pred = self.scopes.get(rule_id)
+        return True if pred is None else pred(path)
+
+
+def run_all(ctx: RuleContext, only=None):
+    findings = []
+    for mod in MODULES:
+        if only is not None and not (set(mod.RULE_IDS) & set(only)):
+            continue
+        findings.extend(mod.run(ctx))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings

@@ -1,0 +1,35 @@
+"""Rule CL01 — cacheline discipline.
+
+Padding for false sharing must go through the one project constant
+(loren::kCacheLine, platform/cacheline.h), never a raw integer literal:
+a port to a 128-byte-line machine must be one -DLOREN_CACHE_LINE_SIZE
+away, not a grep for 64. The rule flags every `alignas(<integer>)`;
+`alignas(kCacheLine)`, `alignas(TasArena::kCacheLine)` etc. pass by
+construction (the argument is an identifier, not a literal). A literal
+alignment that genuinely is not cache-line padding (an ABI contract, a
+SIMD requirement) carries `// cl:raw-ok(<reason>)`.
+"""
+
+from __future__ import annotations
+
+CL01 = "CL01"
+RULE_IDS = (CL01,)
+SUMMARY = "cacheline discipline: alignas via platform/cacheline.h constants"
+
+
+def run(ctx):
+    from . import Finding
+    findings = []
+    for ex in ctx.extractions:
+        if not ctx.in_scope(CL01, ex.path):
+            continue
+        for site in ex.alignas_sites:
+            if site.annotations.cl_raw_ok is not None:
+                continue
+            findings.append(Finding(
+                CL01, ex.path, site.line,
+                f"raw alignas({site.literal}); use loren::kCacheLine "
+                "(platform/cacheline.h) for false-sharing padding, or "
+                "annotate '// cl:raw-ok(<reason>)' for a genuine "
+                "fixed-alignment requirement"))
+    return findings

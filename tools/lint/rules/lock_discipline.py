@@ -1,0 +1,67 @@
+"""Rule LK01 — lock discipline in sim-visible code.
+
+The scenario engine serializes workers and suspends them at sim points.
+A worker suspended *inside* a critical section guarded by a plain
+std::mutex deadlocks any worker that blocks on the same lock for real,
+so sim-visible code must use loren::SimMutex (platform/sim_point.h) for
+any mutex whose critical sections can hit a sim point.
+
+The rule bans raw std::mutex (and cousins) in sim-visible sources:
+ * a std::mutex declaration needs `// sim:lock-ok(<reason>)` asserting
+   its critical sections never yield (cold registries and the like);
+ * a guard (lock_guard/unique_lock/scoped_lock/shared_lock) must resolve
+   its lock argument to a SimMutex or to an annotated std::mutex
+   declaration; unresolvable guards need a site annotation.
+SimMutex declarations and guards over them always pass.
+"""
+
+from __future__ import annotations
+
+LK01 = "LK01"
+RULE_IDS = (LK01,)
+SUMMARY = "lock discipline: SimMutex (or justified std::mutex) only"
+
+
+def run(ctx):
+    from . import Finding
+    findings = []
+    for ex in ctx.extractions:
+        if not ctx.in_scope(LK01, ex.path):
+            continue
+        for d in ex.mutex_decls:
+            if d.sim_mutex:
+                continue
+            if d.annotations.sim_lock_ok is not None:
+                continue
+            findings.append(Finding(
+                LK01, ex.path, d.line,
+                f"raw std::mutex '{d.name}' in sim-visible code; use "
+                "loren::SimMutex, or annotate '// sim:lock-ok(<reason>)' "
+                "if its critical sections can never hit a sim point"))
+        for site in ex.lock_sites:
+            if site.annotations.sim_lock_ok is not None:
+                continue
+            name = site.mutex_name
+            decls = ctx.mutex_index.get(name or "", [])
+            if decls:
+                if any(d.sim_mutex for d in decls):
+                    continue  # guards over a SimMutex are the rule's goal
+                if any(d.annotations.sim_lock_ok is not None for d in decls):
+                    continue  # covered by the declaration's justification
+                # Unannotated std::mutex declaration: reported there, not
+                # at every guard.
+                continue
+            if site.explicit_std_mutex:
+                findings.append(Finding(
+                    LK01, ex.path, site.line,
+                    "std::mutex named in sim-visible code outside an "
+                    "annotated declaration; use loren::SimMutex or "
+                    "annotate '// sim:lock-ok(<reason>)'"))
+            elif name is not None:
+                findings.append(Finding(
+                    LK01, ex.path, site.line,
+                    f"lock guard over '{name}' does not resolve to a "
+                    "SimMutex or an annotated std::mutex declaration; "
+                    "annotate the declaration or this site "
+                    "('// sim:lock-ok(<reason>)')"))
+    return findings

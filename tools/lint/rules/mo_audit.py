@@ -1,0 +1,75 @@
+"""Rules MO01/MO02 — the memory-order audit.
+
+MO01: every std::atomic variable declaration (member, namespace-scope, or
+static local) must carry a `// mo: <orders> — <why>` annotation declaring
+which memory orders its operations are allowed to use and why that is
+correct. The order list is a comma/slash-separated subset of
+{relaxed, acquire, release, acq_rel, seq_cst}.
+
+MO02: every atomic operation that passes memory_order_relaxed must either
+(a) resolve its receiver to a declared atomic whose `mo:` contract
+includes `relaxed`, or (b) carry a `// mo:relaxed-ok(<reason>)`
+annotation on its statement. The telemetry stripes (src/telemetry/) are
+exempt from MO02 by scope: their single-writer relaxed protocol is the
+subsystem's documented design (docs/observability.md), re-arguing it at
+every line would be noise.
+"""
+
+from __future__ import annotations
+
+MO01 = "MO01"
+MO02 = "MO02"
+RULE_IDS = (MO01, MO02)
+SUMMARY = "memory-order audit: contracts on atomics, justified relaxed ops"
+
+
+def run(ctx):
+    from . import Finding
+    findings = []
+    for ex in ctx.extractions:
+        if ctx.in_scope(MO01, ex.path):
+            for d in ex.atomic_decls:
+                ann = d.annotations
+                if ann.mo_malformed:
+                    findings.append(Finding(
+                        MO01, ex.path, d.line,
+                        f"atomic '{d.name}' has a malformed mo: annotation "
+                        "(expected '// mo: <orders> — <why>' with orders in "
+                        "relaxed|acquire|release|acq_rel|seq_cst)"))
+                elif ann.mo_orders is None:
+                    findings.append(Finding(
+                        MO01, ex.path, d.line,
+                        f"atomic '{d.name}' lacks a memory-order contract "
+                        "annotation ('// mo: <orders> — <why>')"))
+        if ctx.in_scope(MO02, ex.path):
+            for op in ex.atomic_ops:
+                if "memory_order_relaxed" not in op.orders:
+                    continue
+                if op.annotations.relaxed_ok is not None:
+                    continue
+                decls = ctx.atomic_index.get(op.receiver or "", [])
+                contracts = [d for d in decls if d.annotations.mo_orders]
+                if any("relaxed" in d.annotations.mo_orders
+                       for d in contracts):
+                    continue
+                if op.receiver is None:
+                    findings.append(Finding(
+                        MO02, ex.path, op.line,
+                        f"relaxed {op.method} on an unresolvable receiver "
+                        "needs '// mo:relaxed-ok(<reason>)'"))
+                elif contracts:
+                    findings.append(Finding(
+                        MO02, ex.path, op.line,
+                        f"relaxed {op.method} on '{op.receiver}' violates "
+                        "its declared contract "
+                        f"({'/'.join(sorted(contracts[0].annotations.mo_orders))}); "
+                        "widen the contract or add "
+                        "'// mo:relaxed-ok(<reason>)'"))
+                else:
+                    findings.append(Finding(
+                        MO02, ex.path, op.line,
+                        f"relaxed {op.method} on '{op.receiver}' has no "
+                        "declared contract in the scanned tree; annotate "
+                        "the declaration ('// mo: ...') or this use "
+                        "('// mo:relaxed-ok(<reason>)')"))
+    return findings

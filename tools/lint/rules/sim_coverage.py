@@ -1,0 +1,51 @@
+"""Rule SP01 — sim-point coverage.
+
+Every atomic RMW/CAS in sim-visible sources (src/tas, src/elastic,
+src/platform/epoch.h, src/renaming) is a potential linearization point
+the deterministic scenario engine (src/sim/scenario/) must be able to
+schedule around. The rule requires a LOREN_SIM_POINT within the RMW's
+enclosing statement list — anywhere inside the innermost function or
+control block containing the call, nested statements included — or an
+explicit `// sim:exempt(<reason>)` annotation stating why this RMW is
+not linearization-critical (reset paths behind external quiescence,
+registration counters, seed-substrate surfaces the engine never
+schedules, ...).
+"""
+
+from __future__ import annotations
+
+SP01 = "SP01"
+RULE_IDS = (SP01,)
+SUMMARY = "sim-point coverage: every RMW scheduled or exempted"
+
+_RMW_METHODS = {
+    "exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+    "test_and_set",
+}
+
+# Receiver method names that are not std::atomic RMWs despite the shared
+# spelling (project wrappers dispatch to an instrumented substrate;
+# flagging the wrapper call would double-count the underlying RMW).
+_WRAPPER_RECEIVER_HINT = None  # reserved for future use
+
+
+def run(ctx):
+    from . import Finding
+    findings = []
+    for ex in ctx.extractions:
+        if not ctx.in_scope(SP01, ex.path):
+            continue
+        for op in ex.atomic_ops:
+            if op.method not in _RMW_METHODS:
+                continue
+            if op.has_sim_point_in_scope:
+                continue
+            if op.annotations.sim_exempt is not None:
+                continue
+            findings.append(Finding(
+                SP01, ex.path, op.line,
+                f"atomic {op.method} has no LOREN_SIM_POINT in its "
+                "enclosing statement list; add one before the RMW or "
+                "annotate '// sim:exempt(<reason>)'"))
+    return findings
