@@ -1,0 +1,249 @@
+#include "control/adaptive_controller.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "telemetry/trace.h"
+
+namespace loren::control {
+
+AdaptiveController::AdaptiveController(const ControlOptions& options,
+                                       telemetry::MetricsRegistry* registry,
+                                       telemetry::MetricId latency_hist,
+                                       KnobSeeds seeds)
+    : options_(options),
+      registry_(registry),
+      latency_hist_(latency_hist),
+      ops_id_(registry->counter("control.ops")),
+      sat_id_(registry->counter("control.saturation")),
+      shed_id_(registry->counter("control.shed")),
+      stash_seed_(std::max(seeds.stash_cap, kStashFloor)),
+      grow_seed_(seeds.grow_miss_threshold),
+      shrink_seed_(std::max<std::uint32_t>(seeds.shrink_low_threshold, 1)),
+      batch_(std::max<std::uint32_t>(options.batch_max, 1)),
+      stash_(std::max(seeds.stash_cap, kStashFloor)),
+      grow_(seeds.grow_miss_threshold),
+      shrink_(seeds.shrink_low_threshold) {
+  if (options_.clock == nullptr) options_.clock = &telemetry::trace_ticks;
+  if (options_.batch_min == 0) options_.batch_min = 1;
+  if (options_.batch_max < options_.batch_min) {
+    options_.batch_max = options_.batch_min;
+  }
+  if (options_.window == 0) options_.window = 1;
+  const std::uint64_t now = options_.clock();
+  window_start_ = now;
+  deadline_.store(now + options_.window, std::memory_order_relaxed);
+}
+
+void AdaptiveController::note_saturation(
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+  stripe.add(sat_id_);
+  if (options_.mode != ControlMode::kAdapt || options_.retry_budget == 0) {
+    return;
+  }
+  const std::uint32_t streak =
+      fail_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= options_.retry_budget &&
+      !shed_.load(std::memory_order_relaxed)) {
+    // The admission gate flips here — the linearization-critical step the
+    // burst-storm scenarios stall workers around.
+    LOREN_SIM_POINT("control.shed");
+    shed_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void AdaptiveController::poll() {
+  const std::uint64_t now = options_.clock();
+  const std::uint64_t dl = deadline_.load(std::memory_order_relaxed);
+  if (now < dl) {
+    if (now + options_.window >= dl) return;  // normal: inside the window
+    // The deadline sits more than one full window in the future: the
+    // clock ran backwards, i.e. it changed domains (trace_ticks is the
+    // TSC at construction but the engine's step counter once a scenario
+    // run binds the thread). Re-anchor the window in the new domain —
+    // counter/histogram baselines stay valid, only the time origin moves.
+    std::unique_lock<SimMutex> lock(step_mu_, std::try_to_lock);
+    if (!lock.owns_lock()) return;
+    if (now + options_.window >= deadline_.load(std::memory_order_relaxed)) {
+      return;  // someone re-anchored (or stepped) first
+    }
+    window_start_ = now;
+    deadline_.store(now + options_.window, std::memory_order_relaxed);
+    return;
+  }
+  std::unique_lock<SimMutex> lock(step_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // someone else is already stepping
+  if (now < deadline_.load(std::memory_order_relaxed)) return;  // they won
+  step(now);
+}
+
+bool AdaptiveController::may_move(int knob, int dir) const {
+  if (last_dir_[knob] == 0 || last_dir_[knob] == dir) return true;
+  // Reversal needs one full quiet window between the opposing moves, so
+  // a signal flickering across the deadband cannot thrash a knob.
+  return window_index_ >= last_move_window_[knob] + 2;
+}
+
+void AdaptiveController::record_move(int knob, int dir) {
+  last_dir_[knob] = dir;
+  last_move_window_[knob] = window_index_;
+  LOREN_SIM_POINT("control.knob");
+}
+
+void AdaptiveController::step(std::uint64_t now) {
+  LOREN_SIM_POINT("control.window");
+  const std::uint64_t ops = registry_->counter_value(ops_id_);
+  const std::uint64_t sat = registry_->counter_value(sat_id_);
+  const std::uint64_t shed = registry_->counter_value(shed_id_);
+  const telemetry::HistogramSnapshot h =
+      registry_->histogram_value(latency_hist_);
+
+  WindowRecord rec;
+  rec.index = window_index_;
+  rec.ticks = now - window_start_;
+  rec.ops = ops - prev_ops_;
+  rec.saturations = sat - prev_sat_;
+  rec.sheds = shed - prev_shed_;
+
+  // Windowed latency: the histogram delta since the previous rollover.
+  // Sample count is the bucket-delta sum (count and buckets are bumped
+  // by separate relaxed stores, so the aggregate `count` can be one off
+  // mid-flight; the walk below must stay self-consistent).
+  std::uint64_t delta[telemetry::kHistogramBuckets];
+  std::uint64_t samples = 0;
+  for (std::uint32_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
+    delta[b] = h.buckets[b] - prev_buckets_[b];
+    samples += delta[b];
+  }
+  rec.samples = samples;
+  if (samples != 0) {
+    const std::uint64_t target = (samples * 99 + 99) / 100;  // ceil(.99 n)
+    std::uint64_t cum = 0;
+    for (std::uint32_t b = 0; b < telemetry::kHistogramBuckets; ++b) {
+      cum += delta[b];
+      if (cum >= target) {
+        rec.p99 = telemetry::bucket_upper_edge(b);
+        break;
+      }
+    }
+  }
+  last_rate_ = rec.ticks != 0
+                   ? static_cast<double>(rec.ops) / static_cast<double>(rec.ticks)
+                   : 0.0;
+  last_p99_ = rec.p99;
+
+  if (options_.mode == ControlMode::kAdapt) {
+    const bool measured = rec.samples != 0;
+    const bool over = measured && rec.p99 > options_.target_p99;
+    const bool under = measured && rec.p99 * 2 <= options_.target_p99;
+    const bool saturated = rec.saturations != 0 || rec.sheds != 0;
+
+    // Batch knob: tighten under pressure, re-open in calm windows.
+    const std::uint32_t b = batch_.load(std::memory_order_relaxed);
+    if ((over || saturated) && b > options_.batch_min && may_move(0, -1)) {
+      batch_.store(std::max(options_.batch_min, b / 2),
+                   std::memory_order_relaxed);
+      record_move(0, -1);
+    } else if (under && !saturated && b < options_.batch_max &&
+               may_move(0, +1)) {
+      batch_.store(std::min(options_.batch_max, b * 2),
+                   std::memory_order_relaxed);
+      record_move(0, +1);
+    }
+
+    // Stash knob: saturation means names parked in stashes are starving
+    // other threads' probes — shrink the bound; calm windows restore it.
+    const std::uint32_t s = stash_.load(std::memory_order_relaxed);
+    if (saturated && s > kStashFloor && may_move(1, -1)) {
+      stash_.store(std::max(kStashFloor, s / 2), std::memory_order_relaxed);
+      record_move(1, -1);
+    } else if (!saturated && !over && s < stash_seed_ && may_move(1, +1)) {
+      stash_.store(std::min(stash_seed_, s * 2), std::memory_order_relaxed);
+      record_move(1, +1);
+    }
+
+    // Elastic hysteresis knob (inert when seeded 0): pressure makes
+    // growing easier AND shrinking harder in one move, so the two
+    // thresholds can never be driven against each other.
+    const std::uint32_t g = grow_.load(std::memory_order_relaxed);
+    if (g != 0) {
+      const std::uint32_t sh = shrink_.load(std::memory_order_relaxed);
+      if ((over || saturated) && (g > 1 || sh < 64) && may_move(2, -1)) {
+        grow_.store(std::max(1u, g / 2), std::memory_order_relaxed);
+        shrink_.store(std::min(64u, sh * 2), std::memory_order_relaxed);
+        record_move(2, -1);
+      } else if (under && !saturated && (g < grow_seed_ || sh > shrink_seed_) &&
+                 may_move(2, +1)) {
+        grow_.store(std::min(grow_seed_, g * 2), std::memory_order_relaxed);
+        shrink_.store(std::max(shrink_seed_, sh / 2),
+                      std::memory_order_relaxed);
+        record_move(2, +1);
+      }
+    }
+  }
+
+  rec.batch = batch_.load(std::memory_order_relaxed);
+  rec.stash = stash_.load(std::memory_order_relaxed);
+  rec.grow = grow_.load(std::memory_order_relaxed);
+  rec.shrink = shrink_.load(std::memory_order_relaxed);
+  rec.shedding = shed_.load(std::memory_order_relaxed);
+
+  if (history_.size() < kTraceCapacity) {
+    history_.push_back(rec);
+  } else {
+    ++dropped_records_;
+  }
+
+  prev_ops_ = ops;
+  prev_sat_ = sat;
+  prev_shed_ = shed;
+  prev_hist_count_ = h.count;
+  for (std::uint32_t i = 0; i < telemetry::kHistogramBuckets; ++i) {
+    prev_buckets_[i] = h.buckets[i];
+  }
+  ++window_index_;
+  window_start_ = now;
+  deadline_.store(now + options_.window, std::memory_order_relaxed);
+}
+
+std::uint64_t AdaptiveController::windows() const {
+  std::lock_guard<SimMutex> lock(step_mu_);
+  return window_index_;
+}
+
+double AdaptiveController::arrival_rate() const {
+  std::lock_guard<SimMutex> lock(step_mu_);
+  return last_rate_;
+}
+
+std::uint64_t AdaptiveController::last_p99() const {
+  std::lock_guard<SimMutex> lock(step_mu_);
+  return last_p99_;
+}
+
+std::vector<AdaptiveController::WindowRecord> AdaptiveController::history()
+    const {
+  std::lock_guard<SimMutex> lock(step_mu_);
+  return history_;
+}
+
+std::string AdaptiveController::trace() const {
+  std::lock_guard<SimMutex> lock(step_mu_);
+  // Integers only: the line is a deterministic function of the
+  // observation sequence (no floats, no pointers, no wall clock).
+  std::ostringstream os;
+  for (const WindowRecord& r : history_) {
+    os << "w=" << r.index << " ticks=" << r.ticks << " ops=" << r.ops
+       << " sat=" << r.saturations << " shed=" << r.sheds << " p99=" << r.p99
+       << " n=" << r.samples << " batch=" << r.batch << " stash=" << r.stash
+       << " grow=" << r.grow << " shrink=" << r.shrink
+       << " shedding=" << (r.shedding ? 1 : 0) << "\n";
+  }
+  if (dropped_records_ != 0) {
+    os << "(+" << dropped_records_ << " windows past trace capacity)\n";
+  }
+  return os.str();
+}
+
+}  // namespace loren::control

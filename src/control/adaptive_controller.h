@@ -1,0 +1,300 @@
+// AdaptiveController: the closed feedback loop over the service stack.
+//
+// Every tuning constant in the services — the acquire_many batch budget,
+// the NameStash capacity, the elastic grow/shrink streak thresholds — is
+// a hand-picked compromise between latency and throughput at one assumed
+// load. The paper's premise is the opposite: namespace work should track
+// *observed* contention. This controller closes that loop. It measures
+// two signals over sliding windows — arrival rate (ops per clock tick)
+// and per-op latency p99 (the telemetry acquire-latency histogram,
+// telemetry/metrics.h) — and at each window rollover moves up to three
+// knobs, one step each, toward the configured latency target:
+//
+//   * batch  — the per-call cap acquire_many() may claim from the shared
+//     namespace, within [batch_min, batch_max]. Over-target latency or
+//     saturation halves it (smaller claims shrink sweep exposure and
+//     namespace pressure spikes); a comfortably under-target window
+//     doubles it back (amortization is free when the namespace is calm).
+//   * stash  — an upper bound clamped onto every thread's NameStash
+//     capacity at its adaptation-window rollups. Saturation halves it
+//     (names parked in stashes inflate occupancy exactly when other
+//     threads are probing into full schedules); calm windows re-open it.
+//   * elastic — the grow/shrink hysteresis of ElasticRenamingService:
+//     over-target windows halve grow_miss_threshold (grow on less
+//     sustained pressure) and double shrink_low_threshold (hold capacity
+//     longer); under-target windows reverse both. Inert (seeded 0) for
+//     the fixed service.
+//
+// Admission control rides on the same object: every failed shared
+// acquisition (kExhausted / kSweepBudgetExhausted) feeds a consecutive-
+// failure streak, and when the streak reaches ControlOptions::retry_budget
+// the controller enters the *shed* state — admit() fails, and the owning
+// service returns kShed without touching the arena, so a saturated
+// namespace costs one relaxed load per rejected call instead of a full
+// sweep per retry. Any successful release re-admits (capacity provably
+// exists again). This replaces the unbounded sweep as the only backstop:
+// the sweep still runs, but at most retry_budget times per saturation
+// episode.
+//
+// Determinism contract: the controller never reads a wall clock directly.
+// All timing goes through ControlOptions::clock — by default
+// telemetry::trace_ticks(), which is the TSC in production and the
+// scenario engine's serialized step counter under LOREN_SIM — and every
+// window rollover and knob move passes a LOREN_SIM_POINT, so control
+// decisions are unit-testable with an injected fake clock and
+// sim-schedulable like any other protocol step. The decision trace
+// (trace()) is a pure function of the observation sequence: two runs of
+// one seeded scenario produce byte-identical traces.
+//
+// Threading: note_ops()/admit()/note_saturation()/note_release() are
+// hot-path safe from any thread (relaxed loads/stores plus one striped
+// counter add; the only RMW is the failure-streak ticket). The window
+// step itself is serialized by a try-locked SimMutex — exactly one caller
+// per rollover runs it; everyone else keeps going.
+//
+// See docs/adaptive-control.md for the model, the shed contract, and how
+// to pick target_p99.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/sim_point.h"
+#include "telemetry/metrics.h"
+
+namespace loren::control {
+
+/// kOff: no controller is constructed — the options struct exists so the
+/// field can sit in every service's options at zero cost.
+/// kObserve: measure and trace every window, move nothing, never shed.
+/// kAdapt: measure, move knobs, and shed past the retry budget.
+enum class ControlMode : std::uint8_t { kOff = 0, kObserve = 1, kAdapt = 2 };
+
+struct ControlOptions {
+  ControlMode mode = ControlMode::kOff;
+  /// The latency target, in clock ticks (the unit of `clock`): the
+  /// controller steers the windowed acquire-latency p99 toward
+  /// (target_p99/2, target_p99]. Above it knobs tighten; at or below
+  /// half of it they re-open — the deadband between is the fixed point.
+  std::uint64_t target_p99 = std::uint64_t{1} << 14;
+  /// Sliding-window length in clock ticks. Rollover is checked on the
+  /// op path (sampled 1-in-64 per thread), so an idle service never
+  /// steps — windows advance with traffic, which is what a load
+  /// controller wants to see anyway.
+  std::uint64_t window = std::uint64_t{1} << 22;
+  /// Batch-knob range for acquire_many's per-call shared claim.
+  std::uint32_t batch_min = 1;
+  std::uint32_t batch_max = 64;
+  /// Consecutive failed shared acquisitions (kExhausted or
+  /// kSweepBudgetExhausted, any thread) before the controller sheds.
+  /// The bound is exact: failure retry_budget trips the state, so call
+  /// retry_budget+1 is the first to return kShed. 0 disables shedding.
+  std::uint32_t retry_budget = 8;
+  /// Injectable deterministic clock; nullptr = telemetry::trace_ticks()
+  /// (TSC in production, the engine step counter under LOREN_SIM).
+  std::uint64_t (*clock)() = nullptr;
+};
+
+class AdaptiveController {
+ public:
+  /// Initial knob values, seeded by the owning service from its own
+  /// options. A zero grow/shrink seed marks the elastic knob inert (the
+  /// fixed service has no resize machinery to steer).
+  struct KnobSeeds {
+    std::uint32_t stash_cap = 64;  // NameStash::kMaxCapacity
+    std::uint32_t grow_miss_threshold = 0;
+    std::uint32_t shrink_low_threshold = 0;
+  };
+
+  /// One decision record per window rollover (the programmatic twin of
+  /// one trace() line).
+  struct WindowRecord {
+    std::uint64_t index = 0;        // 0-based window number
+    std::uint64_t ticks = 0;        // window length actually observed
+    std::uint64_t ops = 0;          // ops completed in the window
+    std::uint64_t saturations = 0;  // failed shared acquisitions
+    std::uint64_t sheds = 0;        // admissions rejected
+    std::uint64_t p99 = 0;          // windowed latency p99 (clock ticks)
+    std::uint64_t samples = 0;      // latency samples behind that p99
+    std::uint32_t batch = 0;        // knob values AFTER this window's moves
+    std::uint32_t stash = 0;
+    std::uint32_t grow = 0;
+    std::uint32_t shrink = 0;
+    bool shedding = false;          // shed state at rollover
+  };
+
+  /// `registry` must outlive the controller (it is the owning service's
+  /// resolved registry); `latency_hist` is the service's acquire-latency
+  /// histogram id in that registry — the controller reads it per window
+  /// via histogram_value(), it never records into it.
+  AdaptiveController(const ControlOptions& options,
+                     telemetry::MetricsRegistry* registry,
+                     telemetry::MetricId latency_hist, KnobSeeds seeds);
+
+  AdaptiveController(const AdaptiveController&) = delete;
+  AdaptiveController& operator=(const AdaptiveController&) = delete;
+
+  // ------------------------------------------------------------ hot path --
+
+  /// Count `n` completed ops into the window and, every 64th call per
+  /// thread (`tick` is the caller's per-thread op counter; pass 0 to
+  /// check every call), poll the clock for a window rollover.
+  void note_ops(telemetry::MetricsRegistry::ThreadStripe& stripe,
+                std::uint64_t n, std::uint32_t tick = 0) {
+    stripe.add(ops_id_, n);
+    if ((tick & 63u) == 0) poll();
+  }
+
+  /// False iff the controller is shedding: the caller must fail the
+  /// acquisition with kShed without touching the shared namespace. The
+  /// rejection is counted (shed accounting is exact; see shed_events()).
+  bool admit(telemetry::MetricsRegistry::ThreadStripe& stripe) {
+    // mo:relaxed-ok(shed flag is a heuristic gate; note_release clears it
+    // and a stale read only costs one extra sweep or one extra rejection)
+    if (!shed_.load(std::memory_order_relaxed)) return true;
+    stripe.add(shed_id_);
+    return false;
+  }
+
+  /// One failed shared acquisition (kExhausted / kSweepBudgetExhausted).
+  /// In kAdapt mode the consecutive-failure streak advances and trips
+  /// the shed state exactly at retry_budget.
+  void note_saturation(telemetry::MetricsRegistry::ThreadStripe& stripe);
+
+  /// Capacity was freed (a successful release): end any saturation
+  /// episode — clear the streak and re-admit.
+  void note_release() {
+    // mo:relaxed-ok(streak/shed are heuristic admission state; the fast
+    // exit below races benignly with note_saturation's ticket)
+    if (fail_streak_.load(std::memory_order_relaxed) == 0) return;
+    fail_streak_.store(0, std::memory_order_relaxed);
+    if (shed_.load(std::memory_order_relaxed)) {
+      shed_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// Check the clock and run the window step on rollover (the note_ops
+  /// sampling calls this; tests and drains may force a check).
+  void poll();
+
+  // ---------------------------------------------------------- knob reads --
+
+  [[nodiscard]] std::uint32_t batch_limit() const {
+    return batch_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t stash_cap() const {
+    return stash_.load(std::memory_order_relaxed);
+  }
+  /// 0 = inert (fixed service); the elastic service substitutes these
+  /// for its configured thresholds when a controller is attached.
+  [[nodiscard]] std::uint32_t grow_miss_threshold() const {
+    return grow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t shrink_low_threshold() const {
+    return shrink_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool shedding() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------- introspection --
+
+  [[nodiscard]] const ControlOptions& options() const { return options_; }
+  /// Rejected admissions (exact: one count per kShed returned).
+  [[nodiscard]] std::uint64_t shed_events() const {
+    return registry_->counter_value(shed_id_);
+  }
+  /// Failed shared acquisitions observed (note_saturation calls).
+  [[nodiscard]] std::uint64_t saturation_events() const {
+    return registry_->counter_value(sat_id_);
+  }
+  /// Completed window rollovers.
+  [[nodiscard]] std::uint64_t windows() const;
+  /// Ops per clock tick over the last completed window.
+  [[nodiscard]] double arrival_rate() const;
+  /// Windowed latency p99 of the last completed window (clock ticks).
+  [[nodiscard]] std::uint64_t last_p99() const;
+  /// Copy of the per-window decision records (bounded; newest last).
+  [[nodiscard]] std::vector<WindowRecord> history() const;
+  /// The decision log as text, one line per window — a deterministic
+  /// function of the observation sequence, so seeded scenario runs can
+  /// assert byte-identical traces. Bounded to kTraceCapacity windows.
+  [[nodiscard]] std::string trace() const;
+
+  static constexpr std::uint32_t kTraceCapacity = 512;
+  /// Stash-knob floor (mirrors NameStash::kMinCapacity without the
+  /// header dependency; static_assert'd against it in the service).
+  static constexpr std::uint32_t kStashFloor = 4;
+
+ private:
+  /// One window's bookkeeping, serialized by step_mu_.
+  void step(std::uint64_t now);
+  /// Hysteresis guard: a knob may always repeat its last direction, but
+  /// reversing requires a full quiet window between the opposing moves.
+  [[nodiscard]] bool may_move(int knob, int dir) const;
+  void record_move(int knob, int dir);
+
+  ControlOptions options_;
+  telemetry::MetricsRegistry* registry_;
+  telemetry::MetricId latency_hist_;
+  telemetry::MetricId ops_id_;
+  telemetry::MetricId sat_id_;
+  telemetry::MetricId shed_id_;
+  std::uint32_t stash_seed_;
+  std::uint32_t grow_seed_;
+  std::uint32_t shrink_seed_;
+
+  // Knob cells: single-step moves under step_mu_, relaxed reads on the
+  // hot paths — a stale knob value steers one extra batch, never breaks
+  // an invariant.
+  // mo: relaxed -- heuristic knob value; written under step_mu_ only,
+  // read lock-free by the op paths.
+  std::atomic<std::uint32_t> batch_;
+  // mo: relaxed -- heuristic knob value; written under step_mu_ only,
+  // read lock-free at stash window rollups.
+  std::atomic<std::uint32_t> stash_;
+  // mo: relaxed -- heuristic knob value; written under step_mu_ only,
+  // read lock-free by the elastic grow path.
+  std::atomic<std::uint32_t> grow_;
+  // mo: relaxed -- heuristic knob value; written under step_mu_ only,
+  // read lock-free by the elastic maintenance path.
+  std::atomic<std::uint32_t> shrink_;
+
+  // Admission state.
+  // mo: relaxed -- consecutive-failure ticket: exactness of the shed
+  // bound needs the RMW, not ordering; note_release's store-0 races it
+  // benignly (a lost clear costs one early shed, never a missed admit).
+  std::atomic<std::uint32_t> fail_streak_{0};
+  // mo: relaxed -- shed gate read per admission; flips are heuristic
+  // state transitions with no payload to publish.
+  std::atomic<bool> shed_{false};
+
+  // Window rollover gate, checked (sampled) on the op path.
+  // mo: relaxed -- rollover deadline: a stale read only defers the step
+  // to the next poll; step_mu_ serializes the actual rollover.
+  std::atomic<std::uint64_t> deadline_;
+
+  /// Serializes step() and guards everything below. SimMutex: the step
+  /// body passes sim points (window rollover, knob moves) and the
+  /// scenario engine must be able to suspend a worker inside it without
+  /// deadlocking the serialized schedule.
+  mutable SimMutex step_mu_;
+  std::uint64_t window_start_;
+  std::uint64_t window_index_ = 0;
+  std::uint64_t prev_ops_ = 0;
+  std::uint64_t prev_sat_ = 0;
+  std::uint64_t prev_shed_ = 0;
+  std::uint64_t prev_hist_count_ = 0;
+  std::uint64_t prev_buckets_[telemetry::kHistogramBuckets] = {};
+  double last_rate_ = 0.0;
+  std::uint64_t last_p99_ = 0;
+  /// Per-knob hysteresis memory (0=batch, 1=stash, 2=elastic).
+  std::uint64_t last_move_window_[3] = {0, 0, 0};
+  int last_dir_[3] = {0, 0, 0};
+  std::vector<WindowRecord> history_;
+  std::uint64_t dropped_records_ = 0;
+};
+
+}  // namespace loren::control

@@ -159,6 +159,22 @@ ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
   ins_.ring_walk = reg.histogram("elastic.batch.ring_walk");
   ins_.quiesce_ticks = reg.histogram("elastic.reclaim.quiesce_ticks");
 
+  if (options_.control.mode != control::ControlMode::kOff) {
+    // The controller reads windowed deltas of the acquire-latency
+    // histogram, which only fills in detailed mode — so enabling control
+    // forces it even on the internal registry.
+    ins_.detailed = true;
+    static_assert(control::AdaptiveController::kStashFloor ==
+                      NameStash::kMinCapacity,
+                  "stash knob floor must match the stash's own minimum");
+    control::AdaptiveController::KnobSeeds seeds;
+    seeds.stash_cap = NameStash::kMaxCapacity;
+    seeds.grow_miss_threshold = options_.grow_miss_threshold;
+    seeds.shrink_low_threshold = options_.shrink_low_threshold;
+    controller_ = std::make_unique<control::AdaptiveController>(
+        options_.control, ins_.registry, ins_.acquire_ticks, seeds);
+  }
+
   std::lock_guard<SimMutex> lock(resize_mu_);
   const std::uint64_t shards =
       shard_count_for(initial, options_.shards, schedules_.params());
@@ -203,6 +219,7 @@ void ElasticRenamingService::cache_note_acquire(
   if (ws.rolled) {
     stripe.add(ins_.cache_hits, ws.hits);
     stripe.add(ins_.cache_misses, ws.misses);
+    if (controller_ != nullptr) st.clamp_capacity(controller_->stash_cap());
     if (st.excess() > 0) cache_spill(st, st.excess(), slot, stripe);
   }
 }
@@ -288,6 +305,9 @@ Name ElasticRenamingService::acquire() {
     }
     return name;
   };
+  if (controller_ != nullptr) {
+    controller_->note_ops(*per.stripe, 1, per.op_tick);
+  }
   if (options_.name_cache) {
     NameStash& st = per.stash;
     cache_sync_gen(st, *per.slot);
@@ -303,6 +323,12 @@ Name ElasticRenamingService::acquire() {
       return name;
     }
     cache_note_acquire(st, false, *per.slot, *per.stripe);
+  }
+  // Admission gate: names already parked in this thread's stash (above)
+  // still serve during shed — they are thread-owned — but the shared
+  // namespace is closed until a release ends the failure streak.
+  if (controller_ != nullptr && !controller_->admit(*per.stripe)) {
+    return finish(kShed);
   }
 
   // Bounded by the doubling ladder: each failed round either resized the
@@ -333,7 +359,7 @@ Name ElasticRenamingService::acquire() {
     // Full schedule miss: record pressure, grow when it is sustained.
     const std::uint32_t streak =
         miss_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (options_.auto_grow && streak >= options_.grow_miss_threshold &&
+    if (options_.auto_grow && streak >= effective_grow_threshold() &&
         grow_from(seen_gen)) {
       continue;
     }
@@ -373,13 +399,16 @@ Name ElasticRenamingService::acquire() {
       // truncated scan into the grow path would reintroduce the
       // spurious-grow bug the miss-streak discipline exists to prevent.
       per.stripe->add(ins_.sweep_budget_exhausted);
+      if (controller_ != nullptr) controller_->note_saturation(*per.stripe);
       return finish(kSweepBudgetExhausted);
     }
     // True exhaustion: force a grow regardless of streak, or give up.
     if (!options_.auto_grow || !grow_from(seen_gen)) {
+      if (controller_ != nullptr) controller_->note_saturation(*per.stripe);
       return finish(kExhausted);
     }
   }
+  if (controller_ != nullptr) controller_->note_saturation(*per.stripe);
   return finish(kExhausted);
 }
 
@@ -447,6 +476,9 @@ bool ElasticRenamingService::release(Name name) {
     if (!g->release_local(d.local)) return finish(false);
     g->note_released();
   }
+  // A real shared-namespace free (stash absorbs above keep the cell
+  // taken): re-admit shed callers.
+  if (controller_ != nullptr) controller_->note_release();
   // Sampled maintenance: drive reclamation (and auto-shrink) forward
   // without a background thread and without taxing every release.
   if ((++per.sample & 63u) == 0) maintenance();
@@ -491,14 +523,31 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       out[got++] = static_cast<Name>(st.pop());
       cache_note_acquire(st, true, *per.slot, *per.stripe);
     }
-    if (got == k) return finish(got);
+    if (got == k) {
+      if (controller_ != nullptr) {
+        controller_->note_ops(*per.stripe, got, per.op_tick);
+      }
+      return finish(got);
+    }
+  }
+  // Admission + batch clamp: the stash served what it could above; the
+  // shared portion is gated (shed returns the partial batch) and bounded
+  // by the controller's live batch knob — callers see a short fill and
+  // come back, which is the whole adaptive-batching mechanism.
+  std::uint64_t want = k;
+  if (controller_ != nullptr) {
+    if (!controller_->admit(*per.stripe)) {
+      controller_->note_ops(*per.stripe, got, per.op_tick);
+      return finish(got);
+    }
+    want = std::min<std::uint64_t>(k, got + controller_->batch_limit());
   }
   const std::uint64_t from_cache = got;
   // Each round runs against one generation under one epoch pin; a round
   // that leaves a shortfall grows the namespace and the next round claims
   // the remainder from the new generation, so the loop is bounded by the
   // doubling ladder exactly like acquire()'s.
-  for (int attempt = 0; attempt < 40 && got < k; ++attempt) {
+  for (int attempt = 0; attempt < 40 && got < want; ++attempt) {
     std::uint64_t seen_gen = 0;
     std::uint64_t round = 0;
     bool budget_hit = false;
@@ -507,7 +556,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       // Generation before group, for the same reason as acquire().
       seen_gen = generation_.load(std::memory_order_acquire);
       ShardGroup* g = live_group_.load(std::memory_order_acquire);
-      round = g->try_acquire_many(ctx.rng, &per.shard, k - got, out + got,
+      round = g->try_acquire_many(ctx.rng, &per.shard, want - got, out + got,
                                   options_.sweep_retry_budget, &budget_hit,
                                   &stats);
       if (round > 0) {
@@ -521,7 +570,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
         got += round;
       }
     }
-    if (got == k) {
+    if (got == want) {
       // Any fully served batch ends the miss streak, sweep-served or not:
       // pressure must be *sustained* to trigger an automatic grow.
       if (miss_streak_.load(std::memory_order_relaxed) != 0) {
@@ -534,6 +583,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
       // from scanning every shard — no exhaustion evidence, so no miss
       // streak and no grow. Hand back the partial batch.
       per.stripe->add(ins_.sweep_budget_exhausted);
+      if (controller_ != nullptr) controller_->note_saturation(*per.stripe);
       break;
     }
     // Shortfall past try_acquire_many's sweep backstop: the live group
@@ -542,12 +592,18 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
     // like acquire()'s true-exhaustion path, grounds for growing now.
     // sim:exempt(streak bookkeeping; the claim RMWs carry the sim points)
     miss_streak_.fetch_add(1, std::memory_order_relaxed);
-    if (!options_.auto_grow || !grow_from(seen_gen)) break;
+    if (!options_.auto_grow || !grow_from(seen_gen)) {
+      if (controller_ != nullptr) controller_->note_saturation(*per.stripe);
+      break;
+    }
   }
   if (options_.name_cache) {
     for (std::uint64_t i = from_cache; i < got; ++i) {
       cache_note_acquire(per.stash, false, *per.slot, *per.stripe);
     }
+  }
+  if (controller_ != nullptr) {
+    controller_->note_ops(*per.stripe, got, per.op_tick);
   }
   return finish(got);
 }
@@ -579,6 +635,7 @@ std::uint64_t ElasticRenamingService::release_shared(const Name* names,
     ++freed;
   }
   if (run_group != nullptr) run_group->note_released_n(run_freed);
+  if (freed > 0 && controller_ != nullptr) controller_->note_release();
   return freed;
 }
 
@@ -794,7 +851,7 @@ void ElasticRenamingService::maintenance() {
     const std::uint32_t streak =
         // sim:exempt(maintenance-only counter under resize_mu_; no races)
         low_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (streak >= options_.shrink_low_threshold) resize_locked(h / 2);
+    if (streak >= effective_shrink_threshold()) resize_locked(h / 2);
   } else {
     low_streak_.store(0, std::memory_order_relaxed);
   }

@@ -52,6 +52,7 @@
 #include <mutex>
 #include <vector>
 
+#include "control/adaptive_controller.h"
 #include "elastic/shard_group.h"
 #include "platform/epoch.h"
 #include "platform/sim_point.h"
@@ -135,6 +136,17 @@ struct ElasticOptions {
   /// counters and their accessors work either way at one relaxed add per
   /// event, but the per-op histograms stay off.
   telemetry::TelemetryOptions telemetry{};
+  /// Closed-loop control (control/adaptive_controller.h). With mode !=
+  /// kOff the service constructs an AdaptiveController: per-window
+  /// latency/arrival measurement, the acquire_many batch clamp, the
+  /// stash capacity bound, the grow/shrink hysteresis knob (the
+  /// controller's thresholds substitute for grow_miss_threshold /
+  /// shrink_low_threshold above, seeded from them), and — in kAdapt
+  /// mode — admission control: acquire fails fast with kShed once the
+  /// consecutive-failure streak reaches control.retry_budget, until a
+  /// release frees capacity. Implies detailed telemetry mode. See
+  /// docs/adaptive-control.md.
+  control::ControlOptions control{};
 };
 
 class ElasticRenamingService {
@@ -155,8 +167,12 @@ class ElasticRenamingService {
   /// cannot grow. kSweepBudgetExhausted: the bounded sweep budget
   /// (options.sweep_retry_budget) ran out first — capacity may remain;
   /// the caller chose bounded latency over a full walk.
+  /// kShed: admission control rejected the call before any probe — the
+  /// controller's consecutive-failure streak hit its retry budget; a
+  /// successful release re-admits (control/adaptive_controller.h).
   static constexpr sim::Name kExhausted = -1;
   static constexpr sim::Name kSweepBudgetExhausted = -2;
+  static constexpr sim::Name kShed = -3;
 
   /// Publishes generation 1, laid out for `initial_holders` (clamped to
   /// [min_holders, max_holders]). Throws std::invalid_argument for
@@ -282,6 +298,15 @@ class ElasticRenamingService {
   }
   /// The calling thread's stash occupancy / adaptive capacity for this
   /// service (introspection and tests).
+  /// Admissions rejected with kShed (exact: one per kShed returned).
+  /// Always 0 without a controller (options.control.mode == kOff).
+  [[nodiscard]] std::uint64_t shed_events() const {
+    return controller_ != nullptr ? controller_->shed_events() : 0;
+  }
+  /// The attached controller, or nullptr when control is off.
+  [[nodiscard]] control::AdaptiveController* controller() const {
+    return controller_.get();
+  }
   [[nodiscard]] std::uint32_t thread_cache_size() const;
   [[nodiscard]] std::uint32_t thread_cache_capacity() const;
   [[nodiscard]] const ElasticOptions& options() const { return options_; }
@@ -400,6 +425,20 @@ class ElasticRenamingService {
   };
   std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
   Instruments ins_;
+  /// The closed control loop (null when options.control.mode == kOff);
+  /// constructed over ins_.registry, after it, destroyed before it.
+  std::unique_ptr<control::AdaptiveController> controller_;
+  /// The grow threshold acquire() compares the miss streak against:
+  /// the controller's hysteresis knob when attached, else the option.
+  [[nodiscard]] std::uint32_t effective_grow_threshold() const {
+    return controller_ != nullptr ? controller_->grow_miss_threshold()
+                                  : options_.grow_miss_threshold;
+  }
+  /// Likewise for the auto-shrink low-watermark streak (maintenance()).
+  [[nodiscard]] std::uint32_t effective_shrink_threshold() const {
+    return controller_ != nullptr ? controller_->shrink_low_threshold()
+                                  : options_.shrink_low_threshold;
+  }
 
   /// Serializes resize + reclamation bookkeeping (cold path only).
   /// SimMutex, not std::mutex: the critical sections contain sim points

@@ -176,6 +176,20 @@ RenamingService::RenamingService(std::uint64_t n,
   ins_.probe_len = reg.histogram("service.acquire.probe_len");
   ins_.lost_races = reg.histogram("service.acquire.lost_races");
   ins_.ring_walk = reg.histogram("service.batch.ring_walk");
+
+  if (options_.control.mode != control::ControlMode::kOff) {
+    // The controller is fed from the per-op latency histograms, so
+    // enabling control implies detailed sampling even on the internal
+    // registry (the sampled 1-in-256 cadence keeps the hot-path cost
+    // inside the telemetry overhead contract either way).
+    ins_.detailed = true;
+    static_assert(control::AdaptiveController::kStashFloor ==
+                  NameStash::kMinCapacity);
+    control::AdaptiveController::KnobSeeds seeds;
+    seeds.stash_cap = NameStash::kMaxCapacity;
+    controller_ = std::make_unique<control::AdaptiveController>(
+        options_.control, ins_.registry, ins_.acquire_ticks, seeds);
+  }
 }
 
 Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
@@ -239,6 +253,10 @@ void RenamingService::cache_note_acquire(
   if (ws.rolled) {
     stripe.add(ins_.cache_hits, ws.hits);
     stripe.add(ins_.cache_misses, ws.misses);
+    // The controller's capacity bound is re-applied at every adaptation
+    // rollup, so the stash's own doubling can never outrun it for more
+    // than one window; the excess spill below drains what the clamp cut.
+    if (controller_ != nullptr) st.clamp_capacity(controller_->stash_cap());
     if (st.excess() > 0) cache_spill(st, st.excess(), counter, stripe);
   }
 }
@@ -277,6 +295,9 @@ Name RenamingService::acquire() {
     }
     return name;
   };
+  if (controller_ != nullptr) {
+    controller_->note_ops(*per.stripe, 1, per.op_tick);
+  }
   if (options_.name_cache) {
     NameStash& st = per.stash;
     cache_sync_gen(st);
@@ -289,6 +310,12 @@ Name RenamingService::acquire() {
       return finish(name);
     }
     cache_note_acquire(st, false, *per.counter, *per.stripe);
+  }
+  // Admission control gates the *shared* namespace only: a stash hit
+  // above still serves (it touches no shared state), but a shedding
+  // controller fails the call here before any probe or sweep.
+  if (controller_ != nullptr && !controller_->admit(*per.stripe)) {
+    return finish(kShed);
   }
   std::uint32_t probes = 0;
   std::uint32_t lost = 0;
@@ -346,6 +373,7 @@ Name RenamingService::acquire() {
     }
   }
   note_probes();
+  if (controller_ != nullptr) controller_->note_saturation(*per.stripe);
   if (sweep_cap < S) {
     per.stripe->add(ins_.sweep_budget_exhausted);
     return finish(kSweepBudgetExhausted);
@@ -386,11 +414,30 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
       cache_note_acquire(st, true, *per.counter, *per.stripe);
     }
     if (got == k) {
+      if (controller_ != nullptr) {
+        controller_->note_ops(*per.stripe, got, per.op_tick);
+      }
       if (timed) {
         per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
       }
       return got;
     }
+  }
+  std::uint64_t want = k - got;
+  if (controller_ != nullptr) {
+    if (!controller_->admit(*per.stripe)) {
+      // Shedding: hand back whatever the stash served, touch nothing
+      // shared. The partial batch is the admission-control contract, not
+      // an exhaustion signal.
+      controller_->note_ops(*per.stripe, got, per.op_tick);
+      if (timed) {
+        per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
+      }
+      return got;
+    }
+    // The batch knob: one call claims at most batch_limit() names from
+    // the shared namespace, whatever was asked.
+    want = std::min<std::uint64_t>(want, controller_->batch_limit());
   }
   std::uint32_t probes = 0;
   std::uint32_t lost = 0;
@@ -403,7 +450,7 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
   bool budget_hit = false;
   BatchWalkStats walk;
   const std::uint64_t shared_got = batch_claim_ring(
-      shard_mask_, shard_shift_, shard_stride_, &per.shard, k - got, out + got,
+      shard_mask_, shard_shift_, shard_stride_, &per.shard, want, out + got,
       [&](std::uint64_t si, bool* late) {
         return probe_shard(*shards_[si], si, ctx.rng, *late, pprobes, plost);
       },
@@ -414,6 +461,15 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
       options_.sweep_retry_budget, &budget_hit, &walk);
   if (budget_hit) {
     per.stripe->add(ins_.sweep_budget_exhausted);
+  }
+  if (controller_ != nullptr) {
+    // A clamped request coming back short is still a failed shared
+    // acquisition from the controller's seat — the walk scanned and
+    // found less than it wanted.
+    if (budget_hit || shared_got < want) {
+      controller_->note_saturation(*per.stripe);
+    }
+    controller_->note_ops(*per.stripe, got + shared_got, per.op_tick);
   }
   if (walk.sweep_shards > 0) {
     per.stripe->add(ins_.sweeps, walk.sweep_shards);
@@ -451,6 +507,9 @@ std::uint64_t RenamingService::release_shared(const Name* names,
   }
   if (freed > 0) {
     RegisteredCounter::add(counter, -static_cast<std::int64_t>(freed));
+    // Shared capacity really freed (stash absorbs don't count — their
+    // cells stay taken): end any admission-control saturation episode.
+    if (controller_ != nullptr) controller_->note_release();
   }
   return freed;
 }
@@ -539,6 +598,7 @@ bool RenamingService::release(Name name) {
     per.stripe = &ins_.registry->stripe();
   }
   RegisteredCounter::add(*per.counter, -1);
+  if (controller_ != nullptr) controller_->note_release();
   return finish(true);
 }
 

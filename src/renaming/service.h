@@ -49,6 +49,7 @@
 #include <memory>
 #include <vector>
 
+#include "control/adaptive_controller.h"
 #include "platform/rng.h"
 #include "platform/registered_counter.h"
 #include "renaming/batch_layout.h"
@@ -135,6 +136,16 @@ struct RenamingServiceOptions {
   /// histograms stay off, so the default configuration pays nothing per
   /// operation. See docs/observability.md.
   telemetry::TelemetryOptions telemetry{};
+  /// Closed-loop control (control/adaptive_controller.h). With mode !=
+  /// kOff the service constructs an AdaptiveController over its metrics
+  /// registry: per-window latency/arrival measurement, the acquire_many
+  /// batch clamp, the stash capacity bound, and — in kAdapt mode —
+  /// admission control (acquire fails fast with kShed once the
+  /// consecutive-failure streak reaches control.retry_budget, until a
+  /// release frees capacity). Enabling control switches the service into
+  /// detailed telemetry mode (the controller is fed from the per-op
+  /// latency histograms). See docs/adaptive-control.md.
+  control::ControlOptions control{};
 };
 
 class RenamingService {
@@ -143,9 +154,14 @@ class RenamingService {
   /// kExhausted: every cell scanned was taken. kSweepBudgetExhausted:
   /// the bounded sweep budget (options.sweep_retry_budget) ran out
   /// before a free cell was found — the namespace may NOT be full; the
-  /// caller chose bounded latency over a full walk.
+  /// caller chose bounded latency over a full walk. kShed: admission
+  /// control rejected the call outright — the controller's consecutive-
+  /// failure streak hit its retry budget, and the caller pays one
+  /// relaxed load instead of another sweep; a successful release
+  /// re-admits (see control/adaptive_controller.h).
   static constexpr sim::Name kExhausted = -1;
   static constexpr sim::Name kSweepBudgetExhausted = -2;
+  static constexpr sim::Name kShed = -3;
 
   /// Serves up to `n` concurrent holders from a ~(1+eps)n namespace.
   /// Throws std::invalid_argument for n == 0. The constructed service is
@@ -251,6 +267,16 @@ class RenamingService {
   /// surface for callers and the bench harness.
   [[nodiscard]] telemetry::MetricsRegistry& metrics_registry() const {
     return *ins_.registry;
+  }
+  /// Admissions rejected with kShed (exact: one per kShed returned).
+  /// Always 0 without a controller (options.control.mode == kOff).
+  [[nodiscard]] std::uint64_t shed_events() const {
+    return controller_ != nullptr ? controller_->shed_events() : 0;
+  }
+  /// The attached controller, or nullptr when control is off. Knob and
+  /// window introspection for tests, benches and operators.
+  [[nodiscard]] control::AdaptiveController* controller() const {
+    return controller_.get();
   }
   /// The calling thread's stash occupancy / adaptive capacity for this
   /// service (introspection and tests).
@@ -399,6 +425,9 @@ class RenamingService {
   /// is null) — all counting goes through a registry either way.
   std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
   Instruments ins_;
+  /// The closed control loop (null when options.control.mode == kOff);
+  /// constructed over ins_.registry, after it, destroyed before it.
+  std::unique_ptr<control::AdaptiveController> controller_;
 };
 
 }  // namespace loren

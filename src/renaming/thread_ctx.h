@@ -78,6 +78,16 @@ class NameStash {
                     : (capacity > kMaxCapacity ? kMaxCapacity : capacity);
   }
 
+  /// Applies an external upper bound to the capacity (the controller's
+  /// stash knob, control/adaptive_controller.h): capacity only ever
+  /// shrinks here, never below kMinCapacity, and contents are untouched —
+  /// the owner spills the excess() a shrink exposes through its shared
+  /// release path, exactly as after a hit-rate halving.
+  void clamp_capacity(std::uint32_t cap) {
+    if (cap < kMinCapacity) cap = kMinCapacity;
+    if (capacity_ > cap) capacity_ = cap;
+  }
+
   [[nodiscard]] std::uint64_t gen() const { return gen_; }
   void set_gen(std::uint64_t gen) { gen_ = gen; }
   [[nodiscard]] std::uint32_t expected_tag() const { return expected_tag_; }

@@ -1,0 +1,356 @@
+// Deterministic-clock tests for the AdaptiveController (src/control/):
+// window accounting against an injected fake clock, convergence to a
+// fixed point on a steady trace, hysteresis (a flickering signal never
+// drives opposing knob moves without a quiet window between them), and
+// the exact shed bound — the retry budget exhausts to kShed at precisely
+// the configured failure count, and one release re-admits.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "control/adaptive_controller.h"
+#include "renaming/service.h"
+#include "telemetry/metrics.h"
+
+namespace loren {
+namespace {
+
+using control::AdaptiveController;
+using control::ControlMode;
+using control::ControlOptions;
+
+// ControlOptions::clock is a plain function pointer (deliberately: the
+// hot path must not pay a std::function), so the fake clock is a file-
+// scope cell each test resets.
+std::uint64_t g_now = 0;
+std::uint64_t fake_clock() { return g_now; }
+
+AdaptiveController::KnobSeeds default_seeds() {
+  AdaptiveController::KnobSeeds seeds;
+  seeds.stash_cap = 64;
+  return seeds;
+}
+
+TEST(Controller, WindowMathAgainstFakeClock) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kObserve;
+  co.window = 100;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController ctl(co, &reg, hist, default_seeds());
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+
+  // Inside the window: ops accumulate, no rollover.
+  ctl.note_ops(stripe, 5);
+  EXPECT_EQ(ctl.windows(), 0u);
+
+  // Advancing the clock alone does nothing — rollover is checked on the
+  // op path, so an idle service never steps.
+  g_now = 99;
+  EXPECT_EQ(ctl.windows(), 0u);
+  ctl.note_ops(stripe, 2);
+  EXPECT_EQ(ctl.windows(), 0u);  // 99 < deadline 100
+
+  // Crossing the deadline rolls the window over; the op carried by the
+  // rolling call itself still lands in the closed window (counted before
+  // the poll).
+  g_now = 100;
+  ctl.note_ops(stripe, 3);
+  EXPECT_EQ(ctl.windows(), 1u);
+  std::vector<AdaptiveController::WindowRecord> h = ctl.history();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0].index, 0u);
+  EXPECT_EQ(h[0].ticks, 100u);
+  EXPECT_EQ(h[0].ops, 10u);
+  EXPECT_EQ(h[0].saturations, 0u);
+  EXPECT_EQ(h[0].sheds, 0u);
+  EXPECT_EQ(h[0].samples, 0u);
+  EXPECT_DOUBLE_EQ(ctl.arrival_rate(), 0.1);
+
+  // A long gap shows up as the closed window's actual tick length, and
+  // the windowed histogram delta carries only this window's samples.
+  stripe.record(hist, 700);
+  stripe.record(hist, 700);
+  g_now = 450;
+  ctl.note_ops(stripe, 7);
+  EXPECT_EQ(ctl.windows(), 2u);
+  h = ctl.history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[1].ticks, 350u);
+  EXPECT_EQ(h[1].ops, 7u);
+  EXPECT_EQ(h[1].samples, 2u);
+  EXPECT_GE(h[1].p99, 700u);  // log2-bucket upper edge at or above the value
+}
+
+TEST(Controller, ObserveModeMovesNothingAndNeverSheds) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kObserve;
+  co.window = 10;
+  co.retry_budget = 1;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController ctl(co, &reg, hist, default_seeds());
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+
+  const std::uint32_t batch0 = ctl.batch_limit();
+  const std::uint32_t stash0 = ctl.stash_cap();
+  for (int w = 0; w < 8; ++w) {
+    ctl.note_saturation(stripe);  // heavy pressure every window
+    stripe.record(hist, 1u << 20);
+    g_now += 10;
+    ctl.note_ops(stripe, 1);
+  }
+  EXPECT_GE(ctl.windows(), 8u);
+  EXPECT_EQ(ctl.batch_limit(), batch0);
+  EXPECT_EQ(ctl.stash_cap(), stash0);
+  EXPECT_TRUE(ctl.admit(stripe));  // observe mode never sheds
+  EXPECT_EQ(ctl.shed_events(), 0u);
+  EXPECT_GT(ctl.saturation_events(), 0u);
+}
+
+TEST(Controller, ConvergesToFixedPointOnSteadyTrace) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kAdapt;
+  co.window = 10;
+  co.batch_min = 1;
+  co.batch_max = 16;
+  co.target_p99 = 1u << 12;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController ctl(co, &reg, hist, default_seeds());
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+
+  // Phase 1: sustained saturation drives the batch and stash knobs to
+  // their floors (one halving per window).
+  for (int w = 0; w < 8; ++w) {
+    ctl.note_saturation(stripe);
+    ctl.note_release();  // keep the streak from tripping shed; pressure only
+    g_now += 10;
+    ctl.note_ops(stripe, 1);
+  }
+  EXPECT_EQ(ctl.batch_limit(), co.batch_min);
+  EXPECT_EQ(ctl.stash_cap(), AdaptiveController::kStashFloor);
+
+  // Phase 2: a steady calm trace (latency far under target, zero
+  // saturation) re-opens both knobs and then reaches a fixed point:
+  // once at the rails, further identical windows move nothing.
+  for (int w = 0; w < 12; ++w) {
+    stripe.record(hist, 16);  // p99 well under target/2
+    g_now += 10;
+    ctl.note_ops(stripe, 1);
+  }
+  EXPECT_EQ(ctl.batch_limit(), co.batch_max);
+  EXPECT_EQ(ctl.stash_cap(), 64u);
+
+  const std::vector<AdaptiveController::WindowRecord> before = ctl.history();
+  for (int w = 0; w < 4; ++w) {
+    stripe.record(hist, 16);
+    g_now += 10;
+    ctl.note_ops(stripe, 1);
+  }
+  const std::vector<AdaptiveController::WindowRecord> after = ctl.history();
+  ASSERT_GT(after.size(), before.size());
+  for (std::size_t i = before.size(); i < after.size(); ++i) {
+    EXPECT_EQ(after[i].batch, co.batch_max) << "knob moved off fixed point";
+    EXPECT_EQ(after[i].stash, 64u) << "knob moved off fixed point";
+  }
+}
+
+TEST(Controller, DeadbandIsAFixedPoint) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kAdapt;
+  co.window = 10;
+  co.batch_min = 1;
+  co.batch_max = 16;
+  // Deadband is (target/2, target]: a recorded value of 700 lands in a
+  // log2 bucket whose upper edge is ~1023, so any target in [1023, 2045]
+  // puts that p99 inside the deadband. 2000 keeps margin on both sides.
+  co.target_p99 = 2000;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController ctl(co, &reg, hist, default_seeds());
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+
+  const std::uint32_t batch0 = ctl.batch_limit();
+  for (int w = 0; w < 6; ++w) {
+    stripe.record(hist, 700);
+    g_now += 10;
+    ctl.note_ops(stripe, 1);
+  }
+  const std::vector<AdaptiveController::WindowRecord> h = ctl.history();
+  ASSERT_GE(h.size(), 6u);
+  EXPECT_GT(h.back().p99, co.target_p99 / 2);
+  EXPECT_LE(h.back().p99, co.target_p99);
+  EXPECT_EQ(ctl.batch_limit(), batch0) << "deadband p99 must not move batch";
+}
+
+TEST(Controller, HysteresisNeverOscillatesOnFlickeringSignal) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kAdapt;
+  co.window = 10;
+  co.batch_min = 1;
+  co.batch_max = 64;
+  co.target_p99 = 1u << 12;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController::KnobSeeds seeds = default_seeds();
+  seeds.grow_miss_threshold = 8;   // arm the elastic knob too
+  seeds.shrink_low_threshold = 4;
+  AdaptiveController ctl(co, &reg, hist, seeds);
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+
+  // The adversarial signal: strict alternation between a saturated
+  // window and a calm far-under-target window, for many windows.
+  for (int w = 0; w < 32; ++w) {
+    if (w % 2 == 0) {
+      ctl.note_saturation(stripe);
+      ctl.note_release();
+      stripe.record(hist, 1u << 20);
+    } else {
+      stripe.record(hist, 16);
+    }
+    g_now += 10;
+    ctl.note_ops(stripe, 1);
+  }
+
+  // Replay each knob's move sequence from the per-window records: a
+  // direction reversal with no full quiet window between the opposing
+  // moves is an oscillation and must never appear.
+  const std::vector<AdaptiveController::WindowRecord> h = ctl.history();
+  ASSERT_GE(h.size(), 16u);
+  const auto knob = [&](const AdaptiveController::WindowRecord& r,
+                        int which) -> std::uint64_t {
+    switch (which) {
+      case 0: return r.batch;
+      case 1: return r.stash;
+      default: return r.grow;
+    }
+  };
+  for (int which = 0; which < 3; ++which) {
+    int last_dir = 0;
+    std::uint64_t last_move = 0;
+    for (std::size_t i = 1; i < h.size(); ++i) {
+      const std::uint64_t prev = knob(h[i - 1], which);
+      const std::uint64_t cur = knob(h[i], which);
+      if (cur == prev) continue;
+      const int dir = cur > prev ? +1 : -1;
+      if (last_dir != 0 && dir != last_dir) {
+        EXPECT_GE(h[i].index, last_move + 2)
+            << "knob " << which << " reversed at window " << h[i].index
+            << " with no quiet window after its window-" << last_move
+            << " move";
+      }
+      last_dir = dir;
+      last_move = h[i].index;
+    }
+  }
+}
+
+TEST(Controller, RetryBudgetExhaustsToShedExactlyAtTheBound) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kAdapt;
+  co.retry_budget = 3;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController ctl(co, &reg, hist, default_seeds());
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+
+  // Failures 1 and 2: still admitting. Failure 3 (== retry_budget) trips
+  // the gate, so the *next* call is the first rejected.
+  ctl.note_saturation(stripe);
+  EXPECT_TRUE(ctl.admit(stripe));
+  ctl.note_saturation(stripe);
+  EXPECT_TRUE(ctl.admit(stripe));
+  EXPECT_FALSE(ctl.shedding());
+  ctl.note_saturation(stripe);
+  EXPECT_TRUE(ctl.shedding());
+  EXPECT_FALSE(ctl.admit(stripe));
+  EXPECT_FALSE(ctl.admit(stripe));
+  EXPECT_EQ(ctl.shed_events(), 2u);  // exact: one count per rejection
+
+  // One release ends the episode — and resets the streak, so tripping
+  // again costs the full budget, not the remainder.
+  ctl.note_release();
+  EXPECT_TRUE(ctl.admit(stripe));
+  ctl.note_saturation(stripe);
+  ctl.note_saturation(stripe);
+  EXPECT_TRUE(ctl.admit(stripe));
+  ctl.note_saturation(stripe);
+  EXPECT_FALSE(ctl.admit(stripe));
+  EXPECT_EQ(ctl.shed_events(), 3u);
+}
+
+TEST(Controller, ZeroRetryBudgetDisablesShedding) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::MetricId hist = reg.histogram("test.acquire.ticks");
+  ControlOptions co;
+  co.mode = ControlMode::kAdapt;
+  co.retry_budget = 0;
+  co.clock = &fake_clock;
+  g_now = 0;
+  AdaptiveController ctl(co, &reg, hist, default_seeds());
+  telemetry::MetricsRegistry::ThreadStripe& stripe = reg.stripe();
+  for (int i = 0; i < 100; ++i) ctl.note_saturation(stripe);
+  EXPECT_TRUE(ctl.admit(stripe));
+  EXPECT_EQ(ctl.shed_events(), 0u);
+}
+
+// End-to-end through the fixed service: a saturated namespace fails with
+// explicit codes exactly retry_budget times, then sheds, and a single
+// release re-admits.
+TEST(Controller, ServiceShedsAtTheBoundAndReleaseReadmits) {
+  RenamingServiceOptions opts;
+  opts.shards = 2;
+  opts.name_cache = false;
+  opts.control.mode = ControlMode::kAdapt;
+  opts.control.retry_budget = 4;
+  opts.control.window = std::uint64_t{1} << 40;  // never roll over here
+  RenamingService svc(64, opts);
+
+  std::vector<sim::Name> held;
+  for (;;) {
+    const sim::Name n = svc.acquire();
+    if (n < 0) break;  // the first failure already advanced the streak
+    held.push_back(n);
+  }
+  ASSERT_GE(held.size(), 64u);
+
+  // Failure 1 happened in the fill loop; failures 2..4 exhaust the
+  // budget with real (swept) error codes, then the gate is closed.
+  for (int i = 1; i < 4; ++i) {
+    const sim::Name n = svc.acquire();
+    EXPECT_TRUE(n == RenamingService::kExhausted ||
+                n == RenamingService::kSweepBudgetExhausted)
+        << "failure " << i + 1 << " inside the budget must really probe";
+    EXPECT_NE(n, RenamingService::kShed);
+  }
+  EXPECT_EQ(svc.acquire(), RenamingService::kShed);
+  EXPECT_EQ(svc.acquire(), RenamingService::kShed);
+  EXPECT_EQ(svc.shed_events(), 2u);
+
+  // Capacity provably exists again -> re-admitted and served.
+  EXPECT_TRUE(svc.release(held.back()));
+  held.pop_back();
+  const sim::Name again = svc.acquire();
+  EXPECT_GE(again, 0);
+  held.push_back(again);
+
+  for (const sim::Name n : held) EXPECT_TRUE(svc.release(n));
+  EXPECT_EQ(svc.names_live(), 0u);
+}
+
+}  // namespace
+}  // namespace loren

@@ -4,8 +4,12 @@
 Promotes the former inline CI snippet into a real tool: per-cell ratios
 keyed by (scenario, variant, threads), per-scenario regression
 thresholds (noisy scenario families tolerate more), a human-readable
-table of every flagged cell, and a summary of cells that exist on only
-one side (so silently dropped coverage is visible, not just slowdowns).
+table of every flagged cell, and a per-scenario breakdown of cells that
+exist on only one side (so silently dropped coverage — and coverage a
+new bench family adds before the baseline is re-measured — is visible,
+not just slowdowns). Rows missing the key fields are reported as
+malformed and skipped, never a traceback: an old baseline produced by a
+different bench build must still diff against a fresh run.
 
 Oversubscribed cells (threads flagged oversubscribed in *either* run's
 thread_counts_meta) measure timeslicing on that machine, not scaling;
@@ -66,12 +70,39 @@ def load(path):
 
 
 def key(row):
-    return (row["scenario"], row["variant"], row["threads"])
+    """(scenario, variant, threads) for a well-formed row, else None."""
+    if not isinstance(row, dict):
+        return None
+    k = (row.get("scenario"), row.get("variant"), row.get("threads"))
+    if any(v is None for v in k):
+        return None
+    return k
+
+
+def index_rows(name, data, malformed):
+    """results[] keyed by cell; rows without a key or a usable
+    items_per_sec are collected into `malformed`, not crashed on."""
+    out = {}
+    for row in data["results"]:
+        k = key(row)
+        if k is None or not isinstance(row.get("items_per_sec"), (int, float)):
+            malformed.append((name, row))
+            continue
+        out[k] = row
+    return out
 
 
 def fmt_key(k):
     scenario, variant, threads = k
     return f"{scenario}/{variant}@{threads}"
+
+
+def by_scenario(keys):
+    """One-sided cells grouped per scenario: [(scenario, [cell, ...])]."""
+    groups = {}
+    for k in keys:
+        groups.setdefault(k[0], []).append(f"{k[1]}@{k[2]}")
+    return sorted(groups.items())
 
 
 def metric_deltas(base, fresh):
@@ -80,9 +111,11 @@ def metric_deltas(base, fresh):
     def rows(data):
         out = {}
         for m in data.get("metrics", []):
-            k = (m["scenario"], m["variant"], m["threads"])
+            k = key(m)
+            if k is None:
+                continue  # malformed metric row: display-only, just skip
             for name, h in m.get("histograms", {}).items():
-                if name.endswith(".probe_len"):
+                if name.endswith(".probe_len") and isinstance(h, dict):
                     out[(k, name)] = h
         return out
 
@@ -125,8 +158,9 @@ def main():
         if m.get("oversubscribed")
     }
 
-    baseline = {key(r): r for r in base["results"]}
-    fresh_rows = {key(r): r for r in fresh["results"]}
+    malformed = []
+    baseline = index_rows("baseline", base, malformed)
+    fresh_rows = index_rows("fresh", fresh, malformed)
 
     flagged = []
     compared = 0
@@ -163,20 +197,33 @@ def main():
         print("probe-length distributions (display only, not thresholded):")
         for k, name, bh, fh in deltas:
             print(f"  {fmt_key(k)} {name}: "
-                  f"p50 {bh['p50']} -> {fh['p50']}, "
-                  f"p99 {bh['p99']} -> {fh['p99']} "
-                  f"(n={bh['count']} -> {fh['count']})")
+                  f"p50 {bh.get('p50', '?')} -> {fh.get('p50', '?')}, "
+                  f"p99 {bh.get('p99', '?')} -> {fh.get('p99', '?')} "
+                  f"(n={bh.get('count', '?')} -> {fh.get('count', '?')})")
         print()
 
     cpu = base.get("cpu_model", "unknown cpu")
     print(f"bench_diff: compared {compared} cells against baseline "
           f"({cpu}); {len(flagged)} regressed past threshold")
+    if malformed:
+        side, row = malformed[0]
+        print(f"bench_diff: skipped {len(malformed)} malformed result "
+              f"rows (first, from {side}: {row!r})")
+    # One-sided cells are coverage drift, not regressions: report the
+    # full per-scenario breakdown (a renamed variant, a dropped thread
+    # count, or a bench family newer than the baseline all read
+    # differently here) and never let them flag or crash the diff.
     if only_base:
         print(f"bench_diff: {len(only_base)} baseline cells absent from "
-              f"fresh run (first: {fmt_key(only_base[0])})")
+              f"fresh run:")
+        for scenario, cells in by_scenario(only_base):
+            print(f"  {scenario}: {len(cells)} cells "
+                  f"({', '.join(cells[:4])}{', ...' if len(cells) > 4 else ''})")
     if only_fresh:
-        print(f"bench_diff: {len(only_fresh)} fresh cells not in baseline "
-              f"(first: {fmt_key(only_fresh[0])})")
+        print(f"bench_diff: {len(only_fresh)} fresh cells not in baseline:")
+        for scenario, cells in by_scenario(only_fresh):
+            print(f"  {scenario}: {len(cells)} cells "
+                  f"({', '.join(cells[:4])}{', ...' if len(cells) > 4 else ''})")
     sys.exit(1 if flagged else 0)
 
 
