@@ -1533,6 +1533,70 @@ int main(int argc, char** argv) {
     }
   }
 
+
+  // ---- crash-churn: leaseholder death and reap-driven recovery ----------
+  // Long-lived churners run flat out while a crasher loop keeps spawning
+  // short-lived holder threads that die holding names (cache off, no
+  // release: nothing flushes — the crashed-holder model). With leasing
+  // on, the dead holders' heartbeats go stale after ttl + grace TSC
+  // ticks and the churners' sampled reap polls recycle the abandoned
+  // cells; the unleased control run leaks every one of them. After a
+  // final explicit drain, lease_reap_recovery = leases expired / names
+  // abandoned — the smoke gate asserts >= 0.99.
+  const unsigned crash_threads = std::min(4u, hw);
+  std::uint64_t crash_abandoned = 0, crash_leaked = 0;
+  double lease_reap_recovery = -1;
+  for (const bool leased : {true, false}) {
+    loren::RenamingServiceOptions crash_opts;
+    crash_opts.epsilon = eps;
+    crash_opts.shards = 0;
+    crash_opts.name_cache = false;
+    if (leased) {
+      crash_opts.lease.ttl_ticks = std::uint64_t{1} << 23;  // a few ms of TSC
+      crash_opts.lease.grace = std::uint64_t{1} << 21;
+    }
+    auto svc = std::make_unique<loren::RenamingService>(1u << 12, crash_opts);
+    std::atomic<bool> crash_stop{false};
+    std::atomic<std::uint64_t> abandoned{0};
+    std::thread crasher([&] {
+      while (!crash_stop.load(std::memory_order_relaxed)) {
+        std::thread holder([&] {
+          std::int64_t held[8];
+          const std::uint64_t got = svc->acquire_many(8, held);
+          abandoned.fetch_add(got, std::memory_order_relaxed);
+          // ... and dies holding them.
+        });
+        holder.join();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    results.push_back(run_threads(
+        "crash-churn", leased ? "service-leased" : "service-unleased",
+        crash_threads, duration_ms,
+        [&](unsigned, const std::atomic<bool>& stop, WorkerCount& c) {
+          churn_loop(*svc, stop, c);
+        }));
+    print_row(results.back());
+    crash_stop.store(true, std::memory_order_relaxed);
+    crasher.join();
+    if (leased) {
+      // Final drain: names abandoned just before stop still need ttl +
+      // grace to go stale, so poll rather than reap once.
+      const auto drain_deadline = Clock::now() + std::chrono::seconds(2);
+      while (svc->leases_live() > 0 && Clock::now() < drain_deadline) {
+        svc->reap_expired();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      crash_abandoned = abandoned.load(std::memory_order_relaxed);
+      lease_reap_recovery =
+          crash_abandoned > 0 ? static_cast<double>(svc->lease_expired()) /
+                                    static_cast<double>(crash_abandoned)
+                              : 1.0;
+    } else {
+      crash_leaked = svc->names_live();
+    }
+  }
+
   // ---- reset microbenchmark: O(m) reallocation vs O(1) epoch bump ------
   const std::uint64_t m = loren::BatchLayout(n, eps).total();
   std::vector<std::pair<std::string, double>> resets;
@@ -1670,6 +1734,16 @@ int main(int argc, char** argv) {
                        static_cast<double>(elastic_reclaims));
   derived.emplace_back("elastic_final_holders",
                        static_cast<double>(elastic_final_holders));
+  // Crash-churn recovery: every abandoned name's lease expired (>= 1.0
+  // up to benign churner-preemption overshoot), against the unleased
+  // control run's permanent leak.
+  if (lease_reap_recovery >= 0) {
+    derived.emplace_back("lease_reap_recovery", lease_reap_recovery);
+    derived.emplace_back("crash_churn_abandoned",
+                         static_cast<double>(crash_abandoned));
+    derived.emplace_back("crash_churn_unleased_leak",
+                         static_cast<double>(crash_leaked));
+  }
   // Closed-loop control on the rate-swinging trace: the adaptive service
   // against the best of the fixed batch sizes (acceptance: >= 1.0 — the
   // controller must at least match whatever fixed k a static tuning

@@ -5,6 +5,7 @@
 
 #include "platform/sim_point.h"
 #include "renaming/service.h"  // auto_shard_count
+#include "renaming/service_directory.h"
 #include "renaming/thread_ctx.h"
 #include "telemetry/trace.h"
 
@@ -29,6 +30,11 @@ struct PerElastic {
   std::uint32_t op_tick = 0;
   std::uint32_t rel_tick = 0;
   loren::NameStash stash;
+  /// This thread's lease heartbeat cell (null until the first op under a
+  /// leasing service; heap-owned by the LeaseTable, outlives the thread).
+  loren::lease::Heartbeat* hb = nullptr;
+  /// Sampled reap-poll phase (ElasticRenamingService::kLeasePollMask).
+  std::uint32_t lease_poll = 0;
 };
 
 struct ThreadCtx {
@@ -38,6 +44,15 @@ struct ThreadCtx {
 
   ThreadCtx(std::uint64_t seed, std::uint64_t s)
       : tslot(s), rng(loren::mix_seed(seed, s)) {}
+
+  /// Thread exit: flush every still-registered service's stash so names
+  /// aren't stranded (renaming/service_directory.h). Mid-TLS-destruction,
+  /// so the callbacks use only the payload's cached pointers.
+  ~ThreadCtx() {
+    services.for_each([](std::uint64_t id, PerElastic& p) {
+      loren::ServiceDirectory::instance().flush(id, &p);
+    });
+  }
 };
 
 ThreadCtx& thread_ctx(std::uint64_t seed) {
@@ -175,25 +190,38 @@ ElasticRenamingService::ElasticRenamingService(std::uint64_t initial_holders,
         options_.control, ins_.registry, ins_.acquire_ticks, seeds);
   }
 
-  std::lock_guard<SimMutex> lock(resize_mu_);
-  const std::uint64_t shards =
-      shard_count_for(initial, options_.shards, schedules_.params());
-  const std::uint64_t shard_n = (initial + shards - 1) / shards;
-  auto group = std::make_unique<ShardGroup>(
-      /*tag=*/0, /*generation=*/1, initial, shards, options_.arena_layout,
-      options_.arena_kind, schedules_.get(shard_n));
-  ShardGroup* raw = group.get();
-  live_local_capacity_.store(raw->local_capacity(), std::memory_order_release);
-  live_holders_.store(initial, std::memory_order_release);
-  live_tag_.store(0, std::memory_order_release);
-  groups_[0].store(raw, std::memory_order_release);
-  live_group_.store(raw, std::memory_order_release);
-  generation_.store(1, std::memory_order_release);
-  linked_.push_back(std::move(group));
+  if (options_.lease.ttl_ticks != 0) {
+    leases_ = std::make_unique<lease::LeaseTable>(options_.lease, ins_.registry);
+    leases_->set_reclaimer(&ElasticRenamingService::reclaim_cell, this);
+  }
+
+  {
+    std::lock_guard<SimMutex> lock(resize_mu_);
+    const std::uint64_t shards =
+        shard_count_for(initial, options_.shards, schedules_.params());
+    const std::uint64_t shard_n = (initial + shards - 1) / shards;
+    auto group = std::make_unique<ShardGroup>(
+        /*tag=*/0, /*generation=*/1, initial, shards, options_.arena_layout,
+        options_.arena_kind, schedules_.get(shard_n));
+    ShardGroup* raw = group.get();
+    live_local_capacity_.store(raw->local_capacity(),
+                               std::memory_order_release);
+    live_holders_.store(initial, std::memory_order_release);
+    live_tag_.store(0, std::memory_order_release);
+    groups_[0].store(raw, std::memory_order_release);
+    live_group_.store(raw, std::memory_order_release);
+    generation_.store(1, std::memory_order_release);
+    linked_.push_back(std::move(group));
+  }
+  // Last: once registered, exiting threads may flush into us.
+  ServiceDirectory::instance().register_service(
+      id_, this, &ElasticRenamingService::directory_flush);
 }
 
-void ElasticRenamingService::cache_sync_gen(NameStash& st,
-                                            EpochDomain::Slot& slot) {
+void ElasticRenamingService::cache_sync_gen(
+    NameStash& st, EpochDomain::Slot& slot,
+    telemetry::MetricsRegistry::ThreadStripe& stripe,
+    const lease::Heartbeat* hb) {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   if (st.gen() == gen) return;
   // A resize was published since the stash was filled: its contents are
@@ -206,7 +234,7 @@ void ElasticRenamingService::cache_sync_gen(NameStash& st,
   if (!st.empty()) {
     Name buf[NameStash::kMaxCapacity];
     const std::uint32_t n = st.take_oldest(buf, st.size());
-    release_shared(buf, n, slot);
+    release_shared(buf, n, slot, &stripe, hb);
   }
   st.set_gen(gen);
   st.set_expected_tag(live_tag_.load(std::memory_order_acquire));
@@ -214,25 +242,27 @@ void ElasticRenamingService::cache_sync_gen(NameStash& st,
 
 void ElasticRenamingService::cache_note_acquire(
     NameStash& st, bool hit, EpochDomain::Slot& slot,
-    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+    telemetry::MetricsRegistry::ThreadStripe& stripe,
+    const lease::Heartbeat* hb) {
   const NameStash::WindowStats ws = st.note_acquire(hit);
   if (ws.rolled) {
     stripe.add(ins_.cache_hits, ws.hits);
     stripe.add(ins_.cache_misses, ws.misses);
     if (controller_ != nullptr) st.clamp_capacity(controller_->stash_cap());
-    if (st.excess() > 0) cache_spill(st, st.excess(), slot, stripe);
+    if (st.excess() > 0) cache_spill(st, st.excess(), slot, stripe, hb);
   }
 }
 
 void ElasticRenamingService::cache_spill(
     NameStash& st, std::uint32_t k, EpochDomain::Slot& slot,
-    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+    telemetry::MetricsRegistry::ThreadStripe& stripe,
+    const lease::Heartbeat* hb) {
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, k);
   LOREN_SIM_POINT("stash.spill");
   LOREN_TRACE("stash.spill", n);
   stripe.add(ins_.stash_spills, n);
-  release_shared(buf, n, slot);
+  release_shared(buf, n, slot, &stripe, hb);
 }
 
 std::uint64_t ElasticRenamingService::flush_thread_cache() {
@@ -256,7 +286,7 @@ std::uint64_t ElasticRenamingService::flush_thread_cache() {
     LOREN_SIM_POINT("stash.flush");
     LOREN_TRACE("stash.flush", n);
     per.stripe->add(ins_.stash_flushes);
-    freed = release_shared(buf, n, *per.slot);
+    freed = release_shared(buf, n, *per.slot, per.stripe, per.hb);
   }
   st.set_gen(generation_.load(std::memory_order_acquire));
   st.set_expected_tag(live_tag_.load(std::memory_order_acquire));
@@ -276,7 +306,126 @@ std::uint32_t ElasticRenamingService::thread_cache_capacity() const {
   return per_elastic(ctx, id_, options_.name_cache_capacity).stash.capacity();
 }
 
-ElasticRenamingService::~ElasticRenamingService() = default;
+ElasticRenamingService::~ElasticRenamingService() {
+  // Unregister first: the directory holds its lock across in-flight exit
+  // flushes, so after this returns no thread can touch the dying service.
+  ServiceDirectory::instance().unregister_service(id_);
+}
+
+bool ElasticRenamingService::reclaim_cell(void* ctx, Name name) {
+  // Caller (the reap driver) holds an epoch pin — the tag-table deref
+  // below follows the same rules as release_shared's.
+  auto* self = static_cast<ElasticRenamingService*>(ctx);
+  if (name < 0) return false;
+  const DecodedName d = decode_name(name, self->options_.debug_release_guard);
+  ShardGroup* g = self->groups_[d.tag].load(std::memory_order_acquire);
+  if (g == nullptr) return false;
+  if (!stamp_matches(*g, d, self->options_.debug_release_guard)) return false;
+  if (!g->release_local(d.local)) return false;
+  g->note_released();
+  return true;
+}
+
+void ElasticRenamingService::directory_flush(void* service, void* payload) {
+  static_cast<ElasticRenamingService*>(service)->flush_thread_state(payload);
+}
+
+void ElasticRenamingService::flush_thread_state(void* payload) {
+  auto& per = *static_cast<PerElastic*>(payload);
+  NameStash& st = per.stash;
+  if (st.empty()) return;
+  // Mid-TLS-destruction: only cached pointers are legal. The epoch slot
+  // registers without TLS (mutex + heap); the stripe does not
+  // (MetricsRegistry::stripe() probes a thread_local table), so a thread
+  // that never cached one flushes uninstrumented. release_shared routes
+  // names from *any* generation through the tag table, so stale-gen
+  // stash contents drain correctly here too.
+  if (per.slot == nullptr) per.slot = &domain_.register_thread();
+  if (per.stripe != nullptr) per.stripe->add(ins_.stash_flushes);
+  Name buf[NameStash::kMaxCapacity];
+  const std::uint32_t n = st.take_oldest(buf, st.size());
+  release_shared(buf, n, *per.slot, per.stripe, per.hb);
+}
+
+void ElasticRenamingService::lease_heartbeat(
+    lease::Heartbeat*& hb, std::uint32_t& poll, NameStash* st,
+    EpochDomain::Slot& slot,
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+  if (hb == nullptr) hb = &leases_->register_thread();
+  const std::uint64_t now = leases_->now();
+  // mo:relaxed-ok(single-writer heartbeat stamp; the reaper's max() with
+  // the lease deadline makes a stale read expiry-delaying, never
+  // expiry-causing — see lease/lease_table.h)
+  const std::uint64_t prev = hb->last.load(std::memory_order_relaxed);
+  // mo:relaxed-ok(same single-writer stamp contract)
+  hb->last.store(now, std::memory_order_relaxed);
+  if (prev != 0 && now - prev >= leases_->ttl() && st != nullptr &&
+      !st->empty()) {
+    // This thread went quiet for a full ttl: its stashed names may have
+    // been reaped (and their cells reclaimed into their groups), so each
+    // one must revalidate before it can be re-issued. Dropped entries
+    // were already reclaimed — dropping is the only safe move.
+    Name buf[NameStash::kMaxCapacity];
+    const std::uint32_t n = st->take_oldest(buf, st->size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (leases_->validate(buf[i], hb)) st->push(buf[i]);
+    }
+  }
+  if ((poll++ & kLeasePollMask) == 0) {
+    std::size_t reclaimed;
+    {
+      // The reclaim callback dereferences the tag table: pin the epoch
+      // around the whole pass, exactly like a release.
+      EpochDomain::Guard guard(domain_, slot);
+      reclaimed = leases_->try_reap(now, &stripe);
+    }
+    // Reclaimed cells went back through note_released(), so group live
+    // counters are already right; just re-admit shed callers.
+    if (reclaimed > 0 && controller_ != nullptr) controller_->note_release();
+  }
+}
+
+Name ElasticRenamingService::renew_lease(Name name) {
+  if (leases_ == nullptr) return name;
+  if (name < 0) return kLeaseExpired;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  lease_heartbeat(per.hb, per.lease_poll,
+                  options_.name_cache ? &per.stash : nullptr, *per.slot,
+                  *per.stripe);
+  return leases_->renew(name, leases_->now(), per.hb, per.stripe) ? name
+                                                          : kLeaseExpired;
+}
+
+std::size_t ElasticRenamingService::reap_expired() {
+  if (leases_ == nullptr) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  PerElastic& per = per_elastic(ctx, id_, options_.name_cache_capacity);
+  if (per.slot == nullptr) {
+    per.slot = &domain_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  // Deliberately NO heartbeat stamp here: reap_expired is a maintenance
+  // op (a dedicated reaper holds nothing; the post-crash drain must be
+  // able to expire the *caller's own* abandoned names). Holders keep
+  // their leases alive through regular ops or renew_lease().
+  std::size_t reclaimed;
+  {
+    EpochDomain::Guard guard(domain_, *per.slot);
+    reclaimed = leases_->reap(leases_->now(), per.stripe);
+  }
+  if (reclaimed > 0) {
+    if (controller_ != nullptr) controller_->note_release();
+    // Reaped names may have emptied a retired generation: push the
+    // drain->unlink->free pipeline forward now.
+    maintenance();
+  }
+  return reclaimed;
+}
 
 Name ElasticRenamingService::acquire() {
   ThreadCtx& ctx = thread_ctx(options_.seed);
@@ -284,6 +433,11 @@ Name ElasticRenamingService::acquire() {
   if (per.slot == nullptr) {
     per.slot = &domain_.register_thread();
     per.stripe = &ins_.registry->stripe();
+  }
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.slot,
+                    *per.stripe);
   }
   // Detailed mode: every (mask+1)-th op is the observed sample — one
   // trace_ticks() pair plus probe/lost-race accumulation into a stack
@@ -310,19 +464,19 @@ Name ElasticRenamingService::acquire() {
   }
   if (options_.name_cache) {
     NameStash& st = per.stash;
-    cache_sync_gen(st, *per.slot);
+    cache_sync_gen(st, *per.slot, *per.stripe, per.hb);
     if (!st.empty()) {
       // The steady-state hot path: a pop from thread-owned memory — no
       // epoch pin, no probes, no counter traffic. The name's cell stayed
       // taken in its (still live: the generation matched) group.
       const Name name = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.slot, *per.stripe);
+      cache_note_acquire(st, true, *per.slot, *per.stripe, per.hb);
       if (timed) {
         per.stripe->record(ins_.acquire_ticks, telemetry::trace_ticks() - t0);
       }
       return name;
     }
-    cache_note_acquire(st, false, *per.slot, *per.stripe);
+    cache_note_acquire(st, false, *per.slot, *per.stripe, per.hb);
   }
   // Admission gate: names already parked in this thread's stash (above)
   // still serve during shed — they are thread-owned — but the shared
@@ -353,7 +507,11 @@ Name ElasticRenamingService::acquire() {
         if (miss_streak_.load(std::memory_order_relaxed) != 0) {
           miss_streak_.store(0, std::memory_order_relaxed);
         }
-        return finish(encode_name(*g, local, options_.debug_release_guard));
+        const Name n = encode_name(*g, local, options_.debug_release_guard);
+        if (leases_ != nullptr) {
+          leases_->open(n, leases_->now(), per.hb, per.stripe);
+        }
+        return finish(n);
       }
     }
     // Full schedule miss: record pressure, grow when it is sustained.
@@ -388,7 +546,11 @@ Name ElasticRenamingService::acquire() {
           miss_streak_.store(0, std::memory_order_relaxed);
         }
         per.stripe->add(ins_.sweeps, stats.sweep_shards - swept_before);
-        return finish(encode_name(*g, swept, options_.debug_release_guard));
+        const Name n = encode_name(*g, swept, options_.debug_release_guard);
+        if (leases_ != nullptr) {
+          leases_->open(n, leases_->now(), per.hb, per.stripe);
+        }
+        return finish(n);
       }
     }
     per.stripe->add(ins_.sweeps, stats.sweep_shards - swept_before);
@@ -422,6 +584,11 @@ bool ElasticRenamingService::release(Name name) {
     per.slot = &domain_.register_thread();
     per.stripe = &ins_.registry->stripe();
   }
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.slot,
+                    *per.stripe);
+  }
   const bool timed =
       ins_.detailed && ((per.rel_tick++ & kLatencySampleMask) == 0);
   const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
@@ -433,7 +600,7 @@ bool ElasticRenamingService::release(Name name) {
   };
   if (options_.name_cache) {
     NameStash& st = per.stash;
-    cache_sync_gen(st, *per.slot);
+    cache_sync_gen(st, *per.slot, *per.stripe, per.hb);
     // Only live-generation names are ever stashed: the 3-bit tag must
     // match the live group's (the stash-invalidation rule) and the local
     // index its bound. A name from a retired-but-draining generation
@@ -457,8 +624,18 @@ bool ElasticRenamingService::release(Name name) {
                g->is_held(d.local);
       }
       if (!held) return finish(false);
+      // Stash absorb keeps the lease open (the cell stays taken): rebind
+      // it to this thread's heartbeat so the reaper tracks the stash's
+      // owner, not the original holder. A rebind miss means the reaper
+      // already expired the lease and reclaimed the cell — absorbing now
+      // would hand a recycled cell back as a stash hit.
+      if (leases_ != nullptr &&
+          !leases_->rebind(name, leases_->now(), per.hb) &&
+          leases_->release_guard()) {
+        return finish(false);
+      }
       if (st.full()) {
-        cache_spill(st, st.capacity() / 2 + 1, *per.slot, *per.stripe);
+        cache_spill(st, st.capacity() / 2 + 1, *per.slot, *per.stripe, per.hb);
       }
       st.push(name);
       if ((++per.sample & 63u) == 0) maintenance();
@@ -471,6 +648,14 @@ bool ElasticRenamingService::release(Name name) {
     if (g == nullptr) return finish(false);
     LOREN_SIM_POINT("elastic.release.stamp");
     if (!stamp_matches(*g, d, options_.debug_release_guard)) {
+      return finish(false);
+    }
+    // Close-vs-reap is linearized by the lease shard lock: exactly one
+    // side frees the cell. A lost close means the reaper already reclaimed
+    // it — with the guard on the late release is rejected (kLeaseExpired
+    // semantics), never silently double-freed under a revived holder.
+    if (leases_ != nullptr && !leases_->close(name, per.hb, per.stripe) &&
+        leases_->release_guard()) {
       return finish(false);
     }
     if (!g->release_local(d.local)) return finish(false);
@@ -493,6 +678,11 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   if (per.slot == nullptr) {
     per.slot = &domain_.register_thread();
     per.stripe = &ins_.registry->stripe();
+  }
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.slot,
+                    *per.stripe);
   }
   const bool timed =
       ins_.detailed && ((per.op_tick++ & kLatencySampleMask) == 0);
@@ -518,10 +708,10 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   std::uint64_t got = 0;
   if (options_.name_cache) {
     NameStash& st = per.stash;
-    cache_sync_gen(st, *per.slot);
+    cache_sync_gen(st, *per.slot, *per.stripe, per.hb);
     while (got < k && !st.empty()) {
       out[got++] = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.slot, *per.stripe);
+      cache_note_acquire(st, true, *per.slot, *per.stripe, per.hb);
     }
     if (got == k) {
       if (controller_ != nullptr) {
@@ -561,11 +751,17 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
                                   &stats);
       if (round > 0) {
         // One live-counter add and one tag/stamp encode pass per
-        // sub-batch — the whole point of batching.
+        // sub-batch — the whole point of batching. The lease clock is
+        // read once per sub-batch too: every name in the round shares a
+        // registration instant.
         g->note_acquired_n(static_cast<std::int64_t>(round));
+        const std::uint64_t lnow = leases_ != nullptr ? leases_->now() : 0;
         for (std::uint64_t i = 0; i < round; ++i) {
           out[got + i] = encode_name(*g, out[got + i],
                                      options_.debug_release_guard);
+          if (leases_ != nullptr) {
+            leases_->open(out[got + i], lnow, per.hb, per.stripe);
+          }
         }
         got += round;
       }
@@ -599,7 +795,7 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   }
   if (options_.name_cache) {
     for (std::uint64_t i = from_cache; i < got; ++i) {
-      cache_note_acquire(per.stash, false, *per.slot, *per.stripe);
+      cache_note_acquire(per.stash, false, *per.slot, *per.stripe, per.hb);
     }
   }
   if (controller_ != nullptr) {
@@ -608,9 +804,10 @@ std::uint64_t ElasticRenamingService::acquire_many(std::uint64_t k,
   return finish(got);
 }
 
-std::uint64_t ElasticRenamingService::release_shared(const Name* names,
-                                                     std::uint64_t count,
-                                                     EpochDomain::Slot& slot) {
+std::uint64_t ElasticRenamingService::release_shared(
+    const Name* names, std::uint64_t count, EpochDomain::Slot& slot,
+    telemetry::MetricsRegistry::ThreadStripe* stripe,
+    const lease::Heartbeat* hb) {
   std::uint64_t freed = 0;
   EpochDomain::Guard guard(domain_, slot);
   // Batches overwhelmingly come from one generation, so coalesce the
@@ -625,6 +822,12 @@ std::uint64_t ElasticRenamingService::release_shared(const Name* names,
     if (g == nullptr) continue;
     LOREN_SIM_POINT("elastic.release.stamp");
     if (!stamp_matches(*g, d, options_.debug_release_guard)) continue;
+    // Same close-vs-reap linearization as release(): a lease the reaper
+    // already expired must not free the (since recycled) cell again.
+    if (leases_ != nullptr && !leases_->close(name, hb, stripe) &&
+        leases_->release_guard()) {
+      continue;
+    }
     if (!g->release_local(d.local)) continue;
     if (g != run_group) {
       if (run_group != nullptr) run_group->note_released_n(run_freed);
@@ -648,14 +851,19 @@ std::uint64_t ElasticRenamingService::release_many(const Name* names,
     per.slot = &domain_.register_thread();
     per.stripe = &ins_.registry->stripe();
   }
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.slot,
+                    *per.stripe);
+  }
   std::uint64_t freed = 0;
   if (!options_.name_cache) {
-    freed = release_shared(names, count, *per.slot);
+    freed = release_shared(names, count, *per.slot, per.stripe, per.hb);
     if (freed > 0 && (++per.sample & 63u) == 0) maintenance();
     return freed;
   }
   NameStash& st = per.stash;
-  cache_sync_gen(st, *per.slot);
+  cache_sync_gen(st, *per.slot, *per.stripe, per.hb);
   const std::uint32_t live_tag = st.expected_tag();
   const std::uint64_t local_cap =
       live_local_capacity_.load(std::memory_order_acquire);
@@ -682,6 +890,12 @@ std::uint64_t ElasticRenamingService::release_many(const Name* names,
               !g->is_held(d.local)) {
             continue;  // not currently held: reject as the shared path would
           }
+          // Stash absorb: same rebind-or-reject rule as release().
+          if (leases_ != nullptr &&
+              !leases_->rebind(name, leases_->now(), per.hb) &&
+              leases_->release_guard()) {
+            continue;
+          }
           st.push(name);
           ++freed;
           continue;
@@ -689,7 +903,10 @@ std::uint64_t ElasticRenamingService::release_many(const Name* names,
         shared_buf[n_shared++] = name;
       }
     }
-    if (n_shared > 0) freed += release_shared(shared_buf, n_shared, *per.slot);
+    if (n_shared > 0) {
+      freed += release_shared(shared_buf, n_shared, *per.slot, per.stripe,
+                              per.hb);
+    }
   }
   // Same sampled maintenance cadence as release(): one batch counts once.
   if (freed > 0 && (++per.sample & 63u) == 0) maintenance();

@@ -54,8 +54,10 @@
 
 #include "control/adaptive_controller.h"
 #include "elastic/shard_group.h"
+#include "lease/lease_table.h"
 #include "platform/epoch.h"
 #include "platform/sim_point.h"
+#include "renaming/acquire_result.h"
 #include "renaming/batch_layout.h"
 #include "renaming/schedule_cache.h"
 #include "renaming/thread_ctx.h"
@@ -147,6 +149,15 @@ struct ElasticOptions {
   /// release frees capacity. Implies detailed telemetry mode. See
   /// docs/adaptive-control.md.
   control::ControlOptions control{};
+  /// Crash-safe ownership (lease/lease_table.h): with lease.ttl_ticks !=
+  /// 0 every shared acquisition registers a lease, every op heartbeats
+  /// the holder's leases alive, and names abandoned by a crashed/parked/
+  /// exited holder are reaped back into their generation's group after
+  /// ttl + grace — after which a revived holder's late release is
+  /// rejected (kLeaseExpired / a guard trip), never applied to a
+  /// possibly-reissued cell. 0 (default) disables leasing: zero per-op
+  /// cost. See docs/leases.md.
+  lease::LeaseOptions lease{};
 };
 
 class ElasticRenamingService {
@@ -170,9 +181,16 @@ class ElasticRenamingService {
   /// kShed: admission control rejected the call before any probe — the
   /// controller's consecutive-failure streak hit its retry budget; a
   /// successful release re-admits (control/adaptive_controller.h).
-  static constexpr sim::Name kExhausted = -1;
-  static constexpr sim::Name kSweepBudgetExhausted = -2;
-  static constexpr sim::Name kShed = -3;
+  /// kLeaseExpired: a lease operation referred to a name whose lease the
+  /// reaper already expired. Defined from the shared loren::AcquireResult
+  /// enum (renaming/acquire_result.h), the single source of truth for
+  /// these values across both services.
+  static constexpr sim::Name kExhausted = to_name(AcquireResult::kExhausted);
+  static constexpr sim::Name kSweepBudgetExhausted =
+      to_name(AcquireResult::kSweepBudgetExhausted);
+  static constexpr sim::Name kShed = to_name(AcquireResult::kShed);
+  static constexpr sim::Name kLeaseExpired =
+      to_name(AcquireResult::kLeaseExpired);
 
   /// Publishes generation 1, laid out for `initial_holders` (clamped to
   /// [min_holders, max_holders]). Throws std::invalid_argument for
@@ -239,6 +257,35 @@ class ElasticRenamingService {
   /// parks or before it exits — a dead thread's stash otherwise pins its
   /// names' generations against draining for the service's lifetime.
   std::uint64_t flush_thread_cache();
+
+  /// Explicitly renews the calling thread's lease on `name` (every op
+  /// already renews implicitly via the heartbeat — this is for holders
+  /// going quiet between ops). Returns `name`, or kLeaseExpired when the
+  /// lease is gone: the reaper reclaimed the cell and the caller must
+  /// treat the name as lost. Trivially `name` with leasing off.
+  sim::Name renew_lease(sim::Name name);
+
+  /// One full blocking reap pass: expires every stale lease and hands
+  /// the cells back to their generations' groups (which lets retired
+  /// generations finish draining). Returns cells reclaimed. The op paths
+  /// poll try_reap() on a sampled cadence already; this is the
+  /// deterministic variant for tests and shutdown drains. 0 when off.
+  std::size_t reap_expired();
+
+  /// Lease observability (all 0 / false with leasing off).
+  [[nodiscard]] bool leasing_enabled() const { return leases_ != nullptr; }
+  [[nodiscard]] std::uint64_t leases_live() const {
+    return leases_ != nullptr ? leases_->leases_live() : 0;
+  }
+  [[nodiscard]] std::uint64_t lease_expired() const {
+    return leases_ != nullptr ? leases_->expired() : 0;
+  }
+  /// Stale lease operations the guard rejected (late release/renew after
+  /// the reaper won) — detected, never silently applied.
+  [[nodiscard]] std::uint64_t lease_guard_trips() const {
+    return leases_ != nullptr ? leases_->guard_trips() : 0;
+  }
+  [[nodiscard]] lease::LeaseTable* lease_table() const { return leases_.get(); }
 
   /// Bound on newly issued names: local capacity of the live generation
   /// times 2^kTagBits. Names issued by earlier, larger generations may
@@ -332,22 +379,53 @@ class ElasticRenamingService {
   /// The shared release path, bypassing the stash: one epoch pin, the
   /// tag-table decode/release loop, coalesced per-group live updates.
   /// `slot` is the caller's registered epoch slot. Both public release
-  /// surfaces and the stash flush/spill paths bottom out here.
+  /// surfaces and the stash flush/spill paths bottom out here. With
+  /// leasing on, each name's lease closes first; a close the reaper beat
+  /// — or one presenting a heartbeat the lease is not bound to (same-bits
+  /// ABA) — skips the group release (the cell is not ours to free).
+  /// `stripe` is nullable only on the thread-exit flush path; `hb` is the
+  /// releasing thread's heartbeat, the identity closes are checked
+  /// against.
   std::uint64_t release_shared(const sim::Name* names, std::uint64_t count,
-                               EpochDomain::Slot& slot);
+                               EpochDomain::Slot& slot,
+                               telemetry::MetricsRegistry::ThreadStripe* stripe,
+                               const lease::Heartbeat* hb);
+
+  /// Per-op lease prologue (leasing on only): registers/stamps the
+  /// calling thread's heartbeat, revalidates the stash after a
+  /// self-detected stale gap, and runs the sampled try_reap poll under
+  /// an epoch pin (the reclaim callback dereferences the tag table).
+  void lease_heartbeat(lease::Heartbeat*& hb, std::uint32_t& poll,
+                       NameStash* st, EpochDomain::Slot& slot,
+                       telemetry::MetricsRegistry::ThreadStripe& stripe);
+
+  /// LeaseTable::ReclaimFn: routes an expired name back into its
+  /// generation's group via the tag table (caller holds an epoch pin).
+  static bool reclaim_cell(void* ctx, sim::Name name);
+
+  /// ServiceDirectory::FlushFn pair — an exiting thread's stash flush,
+  /// driven entirely off the payload's cached pointers (mid-TLS-
+  /// destruction: no thread_local lookups are legal here).
+  static void directory_flush(void* service, void* payload);
+  void flush_thread_state(void* payload);
 
   /// Re-tags `st` against the current resize generation; on mismatch the
   /// contents — names still held in a now-retired group — are flushed
   /// through release_shared so that group can drain (the stash-
   /// invalidation rule; see docs/protocols.md).
-  void cache_sync_gen(NameStash& st, EpochDomain::Slot& slot);
+  void cache_sync_gen(NameStash& st, EpochDomain::Slot& slot,
+                      telemetry::MetricsRegistry::ThreadStripe& stripe,
+                      const lease::Heartbeat* hb);
   /// Hit/miss accounting; window roll-ups fold into the aggregate and
   /// spill any excess above an adaptively shrunk capacity.
   void cache_note_acquire(NameStash& st, bool hit, EpochDomain::Slot& slot,
-                          telemetry::MetricsRegistry::ThreadStripe& stripe);
-  /// Spills the `k` oldest stashed names through release_shared.
+                          telemetry::MetricsRegistry::ThreadStripe& stripe,
+                          const lease::Heartbeat* hb);
+  /// Spills the `k` oldest stashed names through release_shared. `hb`
+  /// is the stash owner's heartbeat (stashed leases are rebound to it).
   void cache_spill(NameStash& st, std::uint32_t k, EpochDomain::Slot& slot,
-                   telemetry::MetricsRegistry::ThreadStripe& stripe);
+                   telemetry::MetricsRegistry::ThreadStripe& stripe,
+                   const lease::Heartbeat* hb);
 
   ElasticOptions options_;
   std::uint64_t min_holders_;
@@ -449,6 +527,12 @@ class ElasticRenamingService {
   mutable SimMutex resize_mu_;
   std::vector<std::unique_ptr<ShardGroup>> linked_;  // live + draining
   std::vector<LimboEntry> limbo_;  // unlinked, awaiting final quiescence
+
+  /// The lease table (null when options.lease.ttl_ticks == 0 — the
+  /// leasing-off hot path pays one null check per op and nothing else).
+  std::unique_ptr<lease::LeaseTable> leases_;
+  /// Sampled op-path reap poll cadence (every 64th op per thread).
+  static constexpr std::uint32_t kLeasePollMask = 63;
 };
 
 }  // namespace loren

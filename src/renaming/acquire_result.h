@@ -1,0 +1,44 @@
+// AcquireResult: the one shared vocabulary of acquisition failures.
+//
+// Both RenamingService and ElasticRenamingService historically hand-rolled
+// the same negative sentinels (-1 exhausted, -2 sweep budget, -3 shed) as
+// private `static constexpr sim::Name` members — three magic numbers that
+// had to agree across two headers and every test that pattern-matched on
+// them. This header is now the single source of truth: the services'
+// constants are defined *from* this enum, so the numeric values cannot
+// drift apart, and kLeaseExpired joins the family for the lease subsystem
+// (src/lease/). The numeric values are frozen — tests, the bench JSON and
+// any embedder treating names as raw int64 rely on them — so new failure
+// kinds append (more negative), never renumber.
+#pragma once
+
+#include "sim/env.h"
+
+namespace loren {
+
+/// Negative sentinel returned in place of a name when an acquisition (or
+/// a lease operation) cannot produce one. Any non-negative value is a
+/// real name; `result < 0` is the one test an embedder needs.
+enum class AcquireResult : sim::Name {
+  /// The namespace is exhausted: every probe and the exhaustive fallback
+  /// sweep found no free cell. (The seed's original -1.)
+  kExhausted = -1,
+  /// The bounded fallback sweep ran out of retry budget before covering
+  /// the arena; the namespace may still have free cells. Retryable.
+  kSweepBudgetExhausted = -2,
+  /// The admission controller shed this call at saturation without
+  /// touching shared memory. Retryable after backoff.
+  kShed = -3,
+  /// The caller's lease on the name expired and the reaper reclaimed the
+  /// cell: the operation (renew, release) refers to a name this holder
+  /// no longer owns. Never silent — the reclaimed cell may already be
+  /// someone else's, so the stale operation is rejected, not applied.
+  kLeaseExpired = -4,
+};
+
+/// The raw sentinel value, for APIs whose return type is sim::Name.
+[[nodiscard]] constexpr sim::Name to_name(AcquireResult r) {
+  return static_cast<sim::Name>(r);
+}
+
+}  // namespace loren

@@ -8,6 +8,7 @@
 
 #include "platform/sim_point.h"
 #include "renaming/batch_claim.h"
+#include "renaming/service_directory.h"
 #include "renaming/thread_ctx.h"
 #include "telemetry/trace.h"
 
@@ -48,6 +49,11 @@ struct PerService {
   /// parked here are re-issued to this thread with no shared-memory
   /// traffic at all. Tagged with the service's reset generation.
   loren::NameStash stash;
+  /// This thread's lease heartbeat cell (null until the first op under a
+  /// leasing service; heap-owned by the LeaseTable, outlives the thread).
+  loren::lease::Heartbeat* hb = nullptr;
+  /// Sampled reap-poll phase (see RenamingService::kLeasePollMask).
+  std::uint32_t lease_poll = 0;
 };
 
 struct ThreadCtx {
@@ -57,6 +63,17 @@ struct ThreadCtx {
 
   explicit ThreadCtx(std::uint64_t seed, std::uint64_t slot_)
       : slot(slot_), rng(loren::mix_seed(seed, slot_)) {}
+
+  /// Thread exit: hand every still-registered service its per-thread
+  /// state so stashed names are flushed, not stranded (the thread-exit
+  /// leak fix — see renaming/service_directory.h). Runs during TLS
+  /// destruction; the directory callback works only off the payload's
+  /// cached pointers.
+  ~ThreadCtx() {
+    services.for_each([](std::uint64_t id, PerService& p) {
+      loren::ServiceDirectory::instance().flush(id, &p);
+    });
+  }
 
   PerService& for_service(std::uint64_t service_id, std::uint64_t home,
                           std::uint32_t stash_capacity) {
@@ -190,6 +207,135 @@ RenamingService::RenamingService(std::uint64_t n,
     controller_ = std::make_unique<control::AdaptiveController>(
         options_.control, ins_.registry, ins_.acquire_ticks, seeds);
   }
+
+  if (options_.lease.ttl_ticks != 0) {
+    leases_ = std::make_unique<lease::LeaseTable>(options_.lease, ins_.registry);
+    leases_->set_reclaimer(&RenamingService::reclaim_cell, this);
+  }
+  // Last: once registered, exiting threads may flush into us, so every
+  // member above must already be live.
+  ServiceDirectory::instance().register_service(
+      id_, this, &RenamingService::directory_flush);
+}
+
+RenamingService::~RenamingService() {
+  // Unregister first: the directory holds its lock across in-flight exit
+  // flushes, so after this returns no thread can touch the dying service.
+  ServiceDirectory::instance().unregister_service(id_);
+}
+
+bool RenamingService::reclaim_cell(void* ctx, Name name) {
+  auto* self = static_cast<RenamingService*>(ctx);
+  if (name < 0 || static_cast<std::uint64_t>(name) >= self->capacity_) {
+    return false;
+  }
+  const std::uint64_t si = static_cast<std::uint64_t>(name) & self->shard_mask_;
+  const std::uint64_t local =
+      static_cast<std::uint64_t>(name) >> self->shard_shift_;
+  return self->shards_[si]->seg.try_release(local);
+}
+
+void RenamingService::directory_flush(void* service, void* payload) {
+  static_cast<RenamingService*>(service)->flush_thread_state(payload);
+}
+
+void RenamingService::flush_thread_state(void* payload) {
+  auto& per = *static_cast<PerService*>(payload);
+  NameStash& st = per.stash;
+  // A stash stranded across a reset() holds dead values — the epoch bump
+  // already freed those cells; discard, don't double-free.
+  // mo:relaxed-ok(invalidation stamp compare; see cache_gen_'s contract)
+  if (st.gen() != cache_gen_.load(std::memory_order_relaxed)) {
+    st.clear();
+    return;
+  }
+  if (st.empty()) return;
+  // Mid-TLS-destruction: only the payload's cached pointers are legal.
+  // The counter node is heap-owned and registrable without TLS; the
+  // stripe is not (MetricsRegistry::stripe() probes a thread_local
+  // table), so a thread that never cached one flushes uninstrumented.
+  if (per.counter == nullptr) per.counter = &live_.register_thread();
+  if (per.stripe != nullptr) per.stripe->add(ins_.stash_flushes);
+  Name buf[NameStash::kMaxCapacity];
+  const std::uint32_t n = st.take_oldest(buf, st.size());
+  release_shared(buf, n, *per.counter, per.stripe, per.hb);
+}
+
+void RenamingService::lease_heartbeat(
+    lease::Heartbeat*& hb, std::uint32_t& poll, NameStash* st,
+    RegisteredCounter::Node& counter,
+    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+  if (hb == nullptr) hb = &leases_->register_thread();
+  const std::uint64_t now = leases_->now();
+  // mo:relaxed-ok(single-writer heartbeat stamp; the reaper's max() with
+  // the lease deadline makes a stale read expiry-delaying, never
+  // expiry-causing — see lease/lease_table.h)
+  const std::uint64_t prev = hb->last.load(std::memory_order_relaxed);
+  // mo:relaxed-ok(same single-writer stamp contract)
+  hb->last.store(now, std::memory_order_relaxed);
+  if (prev != 0 && now - prev >= leases_->ttl() && st != nullptr) {
+    // This thread went quiet for a full ttl: its leases may have been
+    // reaped, so every stashed name must be revalidated before it can be
+    // re-issued. A name whose lease is gone was already reclaimed into
+    // the arena — dropping the stash entry is the correct (and only
+    // safe) move.
+    cache_sync_gen(*st);
+    if (!st->empty()) {
+      Name buf[NameStash::kMaxCapacity];
+      const std::uint32_t n = st->take_oldest(buf, st->size());
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (leases_->validate(buf[i], hb)) st->push(buf[i]);
+      }
+    }
+  }
+  if ((poll++ & kLeasePollMask) == 0) {
+    const std::size_t reclaimed = leases_->try_reap(now, &stripe);
+    if (reclaimed > 0) {
+      RegisteredCounter::add(counter, -static_cast<std::int64_t>(reclaimed));
+      if (controller_ != nullptr) controller_->note_release();
+    }
+  }
+}
+
+Name RenamingService::renew_lease(Name name) {
+  if (leases_ == nullptr) return name;
+  if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) {
+    return kLeaseExpired;
+  }
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_,
+                              options_.name_cache_capacity);
+  if (per.counter == nullptr) {
+    per.counter = &live_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  lease_heartbeat(per.hb, per.lease_poll,
+                  options_.name_cache ? &per.stash : nullptr, *per.counter,
+                  *per.stripe);
+  return leases_->renew(name, leases_->now(), per.hb, per.stripe) ? name
+                                                          : kLeaseExpired;
+}
+
+std::size_t RenamingService::reap_expired() {
+  if (leases_ == nullptr) return 0;
+  ThreadCtx& ctx = thread_ctx(options_.seed);
+  auto& per = ctx.for_service(id_, ctx.slot & shard_mask_,
+                              options_.name_cache_capacity);
+  if (per.counter == nullptr) {
+    per.counter = &live_.register_thread();
+    per.stripe = &ins_.registry->stripe();
+  }
+  // Deliberately NO heartbeat stamp here: reap_expired is a maintenance
+  // op (a dedicated reaper holds nothing; the post-crash drain must be
+  // able to expire the *caller's own* abandoned names). Holders keep
+  // their leases alive through regular ops or renew_lease().
+  const std::size_t reclaimed = leases_->reap(leases_->now(), per.stripe);
+  if (reclaimed > 0) {
+    RegisteredCounter::add(*per.counter,
+                           -static_cast<std::int64_t>(reclaimed));
+    if (controller_ != nullptr) controller_->note_release();
+  }
+  return reclaimed;
 }
 
 Name RenamingService::probe_shard(Shard& shard, std::uint64_t shard_index,
@@ -248,7 +394,8 @@ void RenamingService::cache_sync_gen(NameStash& st) const {
 
 void RenamingService::cache_note_acquire(
     NameStash& st, bool hit, RegisteredCounter::Node& counter,
-    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+    telemetry::MetricsRegistry::ThreadStripe& stripe,
+    const lease::Heartbeat* hb) {
   const NameStash::WindowStats ws = st.note_acquire(hit);
   if (ws.rolled) {
     stripe.add(ins_.cache_hits, ws.hits);
@@ -257,20 +404,21 @@ void RenamingService::cache_note_acquire(
     // rollup, so the stash's own doubling can never outrun it for more
     // than one window; the excess spill below drains what the clamp cut.
     if (controller_ != nullptr) st.clamp_capacity(controller_->stash_cap());
-    if (st.excess() > 0) cache_spill(st, st.excess(), counter, stripe);
+    if (st.excess() > 0) cache_spill(st, st.excess(), counter, stripe, hb);
   }
 }
 
 void RenamingService::cache_spill(
     NameStash& st, std::uint32_t k, RegisteredCounter::Node& counter,
-    telemetry::MetricsRegistry::ThreadStripe& stripe) {
+    telemetry::MetricsRegistry::ThreadStripe& stripe,
+    const lease::Heartbeat* hb) {
   Name buf[NameStash::kMaxCapacity];
   const std::uint32_t n = st.take_oldest(buf, k);
   // Names leave the (thread-private) stash and hit shared cells/counter.
   LOREN_SIM_POINT("stash.spill");
   LOREN_TRACE("stash.spill", n);
   stripe.add(ins_.stash_spills, n);
-  release_shared(buf, n, counter);
+  release_shared(buf, n, counter, &stripe, hb);
 }
 
 Name RenamingService::acquire() {
@@ -279,6 +427,11 @@ Name RenamingService::acquire() {
   if (per.counter == nullptr) {
     per.counter = &live_.register_thread();
     per.stripe = &ins_.registry->stripe();
+  }
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.counter,
+                    *per.stripe);
   }
   // Detailed mode: every (mask+1)-th op is the observed sample — one
   // rdtsc pair plus probe/lost-race accumulation into stack locals,
@@ -306,10 +459,10 @@ Name RenamingService::acquire() {
       // cell stayed taken and the live counter never moved, so no shared
       // state needs touching at all.
       const Name name = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.counter, *per.stripe);
+      cache_note_acquire(st, true, *per.counter, *per.stripe, per.hb);
       return finish(name);
     }
-    cache_note_acquire(st, false, *per.counter, *per.stripe);
+    cache_note_acquire(st, false, *per.counter, *per.stripe, per.hb);
   }
   // Admission control gates the *shared* namespace only: a stash hit
   // above still serves (it touches no shared state), but a shedding
@@ -345,6 +498,9 @@ Name RenamingService::acquire() {
         LOREN_TRACE("service.migrate", per.shard);
       }
       RegisteredCounter::add(*per.counter, 1);
+      if (leases_ != nullptr) {
+        leases_->open(name, leases_->now(), per.hb, per.stripe);
+      }
       note_probes();
       return finish(name);
     }
@@ -368,8 +524,12 @@ Name RenamingService::acquire() {
     if (shards_[si]->seg.try_claim_run(0, shard_stride_, 1, &u, plost) == 1) {
       per.shard = static_cast<std::uint32_t>(si);
       RegisteredCounter::add(*per.counter, 1);
+      const Name name = static_cast<Name>((u << shard_shift_) | si);
+      if (leases_ != nullptr) {
+        leases_->open(name, leases_->now(), per.hb, per.stripe);
+      }
       note_probes();
-      return finish(static_cast<Name>((u << shard_shift_) | si));
+      return finish(name);
     }
   }
   note_probes();
@@ -402,6 +562,11 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
     per.counter = &live_.register_thread();
     per.stripe = &ins_.registry->stripe();
   }
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.counter,
+                    *per.stripe);
+  }
   const bool timed =
       ins_.detailed && ((per.op_tick++ & kLatencySampleMask) == 0);
   const std::uint64_t t0 = timed ? telemetry::trace_ticks() : 0;
@@ -411,7 +576,7 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
     cache_sync_gen(st);
     while (got < k && !st.empty()) {
       out[got++] = static_cast<Name>(st.pop());
-      cache_note_acquire(st, true, *per.counter, *per.stripe);
+      cache_note_acquire(st, true, *per.counter, *per.stripe, per.hb);
     }
     if (got == k) {
       if (controller_ != nullptr) {
@@ -482,10 +647,16 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
   }
   if (shared_got > 0) {
     RegisteredCounter::add(*per.counter, static_cast<std::int64_t>(shared_got));
+    if (leases_ != nullptr) {
+      const std::uint64_t lnow = leases_->now();
+      for (std::uint64_t i = 0; i < shared_got; ++i) {
+        leases_->open(out[got + i], lnow, per.hb, per.stripe);
+      }
+    }
   }
   if (options_.name_cache) {
     for (std::uint64_t i = 0; i < shared_got; ++i) {
-      cache_note_acquire(per.stash, false, *per.counter, *per.stripe);
+      cache_note_acquire(per.stash, false, *per.counter, *per.stripe, per.hb);
     }
   }
   if (timed) {
@@ -494,13 +665,21 @@ std::uint64_t RenamingService::acquire_many(std::uint64_t k, Name* out) {
   return got + shared_got;
 }
 
-std::uint64_t RenamingService::release_shared(const Name* names,
-                                              std::uint64_t count,
-                                              RegisteredCounter::Node& counter) {
+std::uint64_t RenamingService::release_shared(
+    const Name* names, std::uint64_t count, RegisteredCounter::Node& counter,
+    telemetry::MetricsRegistry::ThreadStripe* stripe,
+    const lease::Heartbeat* hb) {
   std::uint64_t freed = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     const Name name = names[i];
     if (name < 0 || static_cast<std::uint64_t>(name) >= capacity_) continue;
+    if (leases_ != nullptr && !leases_->close(name, hb, stripe) &&
+        leases_->release_guard()) {
+      // The reaper won the close: the cell was already reclaimed (and
+      // possibly reissued to someone else) — a late release must be
+      // rejected here, never applied. The guard trip is counted.
+      continue;
+    }
     const std::uint64_t si = static_cast<std::uint64_t>(name) & shard_mask_;
     const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
     if (shards_[si]->seg.try_release(local)) ++freed;
@@ -523,7 +702,14 @@ std::uint64_t RenamingService::release_many(const Name* names,
     per.counter = &live_.register_thread();
     per.stripe = &ins_.registry->stripe();
   }
-  if (!options_.name_cache) return release_shared(names, count, *per.counter);
+  if (leases_ != nullptr) {
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.counter,
+                    *per.stripe);
+  }
+  if (!options_.name_cache) {
+    return release_shared(names, count, *per.counter, per.stripe, per.hb);
+  }
   NameStash& st = per.stash;
   cache_sync_gen(st);
   std::uint64_t freed = 0;
@@ -541,17 +727,29 @@ std::uint64_t RenamingService::release_many(const Name* names,
       const std::uint64_t local =
           static_cast<std::uint64_t>(name) >> shard_shift_;
       if (shards_[si]->seg.read(local) != 1) continue;  // not held
+      // Absorbing a name re-homes its lease onto this thread's heartbeat
+      // (the original holder may exit; the stash must keep it alive). A
+      // rebind the reaper already beat means the cell isn't ours to park.
+      if (leases_ != nullptr &&
+          !leases_->rebind(name, leases_->now(), per.hb) &&
+          leases_->release_guard()) {
+        continue;
+      }
       st.push(name);
       ++freed;
       continue;
     }
     shared_buf[n_shared++] = name;
     if (n_shared == NameStash::kMaxCapacity) {
-      freed += release_shared(shared_buf, n_shared, *per.counter);
+      freed += release_shared(shared_buf, n_shared, *per.counter, per.stripe,
+                              per.hb);
       n_shared = 0;
     }
   }
-  if (n_shared > 0) freed += release_shared(shared_buf, n_shared, *per.counter);
+  if (n_shared > 0) {
+    freed += release_shared(shared_buf, n_shared, *per.counter, per.stripe,
+                              per.hb);
+  }
   return freed;
 }
 
@@ -561,6 +759,15 @@ bool RenamingService::release(Name name) {
   const std::uint64_t local = static_cast<std::uint64_t>(name) >> shard_shift_;
   ThreadCtx& ctx = thread_ctx(options_.seed);
   auto& per = ctx.for_service(id_, ctx.slot & shard_mask_, options_.name_cache_capacity);
+  if (leases_ != nullptr) {
+    if (per.counter == nullptr) {
+      per.counter = &live_.register_thread();
+      per.stripe = &ins_.registry->stripe();
+    }
+    lease_heartbeat(per.hb, per.lease_poll,
+                    options_.name_cache ? &per.stash : nullptr, *per.counter,
+                    *per.stripe);
+  }
   const bool timed =
       ins_.detailed && ((per.rel_tick++ & kLatencySampleMask) == 0);
   if (timed && per.stripe == nullptr) per.stripe = &ins_.registry->stripe();
@@ -582,15 +789,27 @@ bool RenamingService::release(Name name) {
     // held name) are undetectable without the RMW — see release()'s
     // contract in service.h.
     if (shards_[si]->seg.read(local) != 1) return finish(false);
+    // Absorbing re-homes the lease onto this thread (see release_many).
+    if (leases_ != nullptr &&
+        !leases_->rebind(name, leases_->now(), per.hb) &&
+        leases_->release_guard()) {
+      return finish(false);
+    }
     if (st.full()) {
       if (per.counter == nullptr) {
         per.counter = &live_.register_thread();
         per.stripe = &ins_.registry->stripe();
       }
-      cache_spill(st, st.capacity() / 2 + 1, *per.counter, *per.stripe);
+      cache_spill(st, st.capacity() / 2 + 1, *per.counter, *per.stripe, per.hb);
     }
     st.push(name);
     return finish(true);
+  }
+  if (leases_ != nullptr && !leases_->close(name, per.hb, per.stripe) &&
+      leases_->release_guard()) {
+    // The reaper won: the cell was reclaimed (and possibly reissued) —
+    // reject the late release rather than free someone else's cell.
+    return finish(false);
   }
   if (!shards_[si]->seg.try_release(local)) return finish(false);
   if (per.counter == nullptr) {
@@ -621,7 +840,7 @@ std::uint64_t RenamingService::flush_thread_cache() {
   LOREN_SIM_POINT("stash.flush");
   LOREN_TRACE("stash.flush", n);
   per.stripe->add(ins_.stash_flushes);
-  return release_shared(buf, n, *per.counter);
+  return release_shared(buf, n, *per.counter, per.stripe, per.hb);
 }
 
 std::uint32_t RenamingService::thread_cache_size() const {
@@ -640,6 +859,9 @@ std::uint32_t RenamingService::thread_cache_capacity() const {
 void RenamingService::reset() {
   for (auto& shard : shards_) shard->reset();
   live_.reset();
+  // Drop every lease without reclaiming — the epoch bumps above already
+  // freed every cell, so reclaim callbacks would double-free.
+  if (leases_ != nullptr) leases_->clear();
   // Invalidate every thread's stash: contents are discarded (not spilled)
   // on the owning thread's next call, because the epoch bumps above
   // already made the stashed cells winnable again.

@@ -50,8 +50,10 @@
 #include <vector>
 
 #include "control/adaptive_controller.h"
+#include "lease/lease_table.h"
 #include "platform/rng.h"
 #include "platform/registered_counter.h"
+#include "renaming/acquire_result.h"
 #include "renaming/batch_layout.h"
 #include "renaming/probe_schedule.h"
 #include "renaming/thread_ctx.h"
@@ -146,6 +148,16 @@ struct RenamingServiceOptions {
   /// detailed telemetry mode (the controller is fed from the per-op
   /// latency histograms). See docs/adaptive-control.md.
   control::ControlOptions control{};
+  /// Crash-safe ownership (lease/lease_table.h). With lease.ttl_ticks !=
+  /// 0 every shared acquisition also registers a lease, every op by the
+  /// holder's thread heartbeats it alive, and abandoned names (holder
+  /// crashed, parked, or exited) are reaped back into the arena after
+  /// ttl + grace ticks — at which point any late release by a revived
+  /// holder is rejected (kLeaseExpired / a guard trip), never applied to
+  /// a cell that may have been reissued. ttl_ticks == 0 (the default)
+  /// disables leasing entirely: no per-op cost, the pre-lease behavior.
+  /// See docs/leases.md.
+  lease::LeaseOptions lease{};
 };
 
 class RenamingService {
@@ -158,15 +170,29 @@ class RenamingService {
   /// control rejected the call outright — the controller's consecutive-
   /// failure streak hit its retry budget, and the caller pays one
   /// relaxed load instead of another sweep; a successful release
-  /// re-admits (see control/adaptive_controller.h).
-  static constexpr sim::Name kExhausted = -1;
-  static constexpr sim::Name kSweepBudgetExhausted = -2;
-  static constexpr sim::Name kShed = -3;
+  /// re-admits (see control/adaptive_controller.h). kLeaseExpired: a
+  /// lease operation (renew_lease, a guarded release) referred to a name
+  /// whose lease the reaper already expired — the caller no longer owns
+  /// it and the cell may have been reissued. The values are defined from
+  /// the shared loren::AcquireResult enum (renaming/acquire_result.h) so
+  /// both services and every embedder agree on the numbers forever.
+  static constexpr sim::Name kExhausted = to_name(AcquireResult::kExhausted);
+  static constexpr sim::Name kSweepBudgetExhausted =
+      to_name(AcquireResult::kSweepBudgetExhausted);
+  static constexpr sim::Name kShed = to_name(AcquireResult::kShed);
+  static constexpr sim::Name kLeaseExpired =
+      to_name(AcquireResult::kLeaseExpired);
 
   /// Serves up to `n` concurrent holders from a ~(1+eps)n namespace.
   /// Throws std::invalid_argument for n == 0. The constructed service is
   /// immediately usable from any thread.
   explicit RenamingService(std::uint64_t n, RenamingServiceOptions options = {});
+
+  /// Unregisters from the ServiceDirectory first, so by the time members
+  /// tear down no exiting thread can flush a stash into this instance.
+  ~RenamingService();
+  RenamingService(const RenamingService&) = delete;
+  RenamingService& operator=(const RenamingService&) = delete;
 
   /// Unique name in [0, capacity()), or -1 iff no free cell was found.
   /// Safe to call from any thread; never blocks and never spins — the
@@ -220,6 +246,40 @@ class RenamingService {
   /// before asserting exact names_live() figures at quiescence. No-op
   /// when the cache is off or the stash is empty.
   std::uint64_t flush_thread_cache();
+
+  /// Explicitly renews the calling thread's lease on `name` (every
+  /// service op already renews implicitly by stamping the thread's
+  /// heartbeat — this is for holders that go quiet between ops, e.g. a
+  /// thread parking on I/O while holding names). Returns `name` on
+  /// success and kLeaseExpired when the lease no longer exists: the
+  /// reaper reclaimed the cell and the caller must treat the name as
+  /// lost. With leasing off it trivially returns `name`.
+  sim::Name renew_lease(sim::Name name);
+
+  /// One full blocking reap pass over the lease table: every stale lease
+  /// is expired and its cell handed back to the arena. Returns the
+  /// number of cells reclaimed. The op paths already poll try_reap()
+  /// periodically — this is the deterministic variant for tests,
+  /// shutdown drains, and dedicated reaper threads. 0 with leasing off.
+  std::size_t reap_expired();
+
+  /// Lease observability (all 0 / false with leasing off).
+  [[nodiscard]] bool leasing_enabled() const { return leases_ != nullptr; }
+  [[nodiscard]] std::uint64_t leases_live() const {
+    return leases_ != nullptr ? leases_->leases_live() : 0;
+  }
+  [[nodiscard]] std::uint64_t lease_expired() const {
+    return leases_ != nullptr ? leases_->expired() : 0;
+  }
+  /// Times the generation guard rejected a stale lease operation (late
+  /// release/renew/validate after the reaper won). Each trip is a
+  /// detected — not silently applied — stale-ownership event.
+  [[nodiscard]] std::uint64_t lease_guard_trips() const {
+    return leases_ != nullptr ? leases_->guard_trips() : 0;
+  }
+  /// The underlying table (null with leasing off): test/bench
+  /// introspection, never needed on the hot path.
+  [[nodiscard]] lease::LeaseTable* lease_table() const { return leases_.get(); }
 
   /// O(S) full reset: epoch-bumps every shard arena, zeroes the live
   /// counter, and invalidates every thread's stash (their contents are
@@ -375,9 +435,37 @@ class RenamingService {
   /// try_release loop plus one add to `counter` (the caller's already-
   /// resolved registered node, so chunked callers don't re-pay the
   /// thread-local lookup per chunk). Both public release surfaces and the
-  /// stash spill/flush paths bottom out here.
+  /// stash spill/flush paths bottom out here. With leasing on, each
+  /// name's lease is closed first; a close the reaper already won — or
+  /// one presenting a heartbeat the lease is not bound to (same-bits
+  /// ABA) — skips the arena release (the cell is not ours to free).
+  /// `stripe` is the caller's cached stripe, nullable only on the
+  /// thread-exit flush path. `hb` is the releasing thread's heartbeat
+  /// (the identity the lease close is checked against).
   std::uint64_t release_shared(const sim::Name* names, std::uint64_t count,
-                               RegisteredCounter::Node& counter);
+                               RegisteredCounter::Node& counter,
+                               telemetry::MetricsRegistry::ThreadStripe* stripe,
+                               const lease::Heartbeat* hb);
+
+  /// Per-op lease prologue (called only when leasing is on): registers
+  /// and stamps the calling thread's heartbeat, revalidates the stash
+  /// after a self-detected stale gap (its names may have been reaped),
+  /// and runs the sampled try_reap poll. The hb/poll references are the
+  /// caller's per-thread per-service context fields.
+  void lease_heartbeat(lease::Heartbeat*& hb, std::uint32_t& poll,
+                       NameStash* st, RegisteredCounter::Node& counter,
+                       telemetry::MetricsRegistry::ThreadStripe& stripe);
+
+  /// LeaseTable::ReclaimFn: frees an expired name's cell back into its
+  /// shard arena. The live counter is adjusted by the *reaping* thread
+  /// (which has a counter node); this callback has no thread context.
+  static bool reclaim_cell(void* ctx, sim::Name name);
+
+  /// ServiceDirectory::FlushFn: an exiting thread's stash flush, driven
+  /// entirely off the payload's cached pointers (the thread is mid-TLS-
+  /// destruction, so no thread_local lookups are legal here).
+  static void directory_flush(void* service, void* payload);
+  void flush_thread_state(void* payload);
 
   /// Re-tags `st` against cache_gen_, discarding contents stranded by a
   /// reset() (the epoch bump already freed those cells).
@@ -387,11 +475,15 @@ class RenamingService {
   /// spills any excess above an adaptively shrunk capacity.
   void cache_note_acquire(NameStash& st, bool hit,
                           RegisteredCounter::Node& counter,
-                          telemetry::MetricsRegistry::ThreadStripe& stripe);
-  /// Spills the `k` oldest stashed names through release_shared.
+                          telemetry::MetricsRegistry::ThreadStripe& stripe,
+                          const lease::Heartbeat* hb);
+  /// Spills the `k` oldest stashed names through release_shared. `hb` is
+  /// the stash owner's heartbeat — stashed leases are rebound to it on
+  /// absorb, so it is the identity their closes must present.
   void cache_spill(NameStash& st, std::uint32_t k,
                    RegisteredCounter::Node& counter,
-                   telemetry::MetricsRegistry::ThreadStripe& stripe);
+                   telemetry::MetricsRegistry::ThreadStripe& stripe,
+                   const lease::Heartbeat* hb);
 
   RenamingServiceOptions options_;
   /// Process-unique instance id. Per-thread caches (sticky shard hint,
@@ -428,6 +520,15 @@ class RenamingService {
   /// The closed control loop (null when options.control.mode == kOff);
   /// constructed over ins_.registry, after it, destroyed before it.
   std::unique_ptr<control::AdaptiveController> controller_;
+  /// The lease table (null when options.lease.ttl_ticks == 0, which is
+  /// what keeps the leasing-off hot path at literally zero extra cost —
+  /// one null check per op).
+  std::unique_ptr<lease::LeaseTable> leases_;
+
+  /// Sampled op-path reap poll: every 64th op per thread attempts a
+  /// non-blocking try_reap, so expiry latency is bounded by op traffic
+  /// without a dedicated reaper thread.
+  static constexpr std::uint32_t kLeasePollMask = 63;
 };
 
 }  // namespace loren

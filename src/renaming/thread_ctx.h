@@ -248,6 +248,17 @@ class PerServiceTable {
     return entries_[i].payload;
   }
 
+  /// Visits every occupied entry as (service_id, payload&). The thread-
+  /// exit flush walk (renaming/service_directory.h): the owning thread's
+  /// ThreadCtx destructor hands each still-registered service its
+  /// payload so stashed names don't die with the thread.
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (Entry& e : entries_) {
+      if (e.service_id != 0) fn(e.service_id, e.payload);
+    }
+  }
+
  private:
   struct Entry {
     std::uint64_t service_id = 0;  // 0 = empty

@@ -235,9 +235,12 @@ TEST(NameCache, AcquireManyDrainsStashFirst) {
 
 TEST(NameCacheStress, HandoffOnlyThroughTheSharedPath) {
   // Thread A acquires the whole namespace, then releases everything: its
-  // stash absorbs up to its capacity, the rest spills shared. Thread B
-  // must be able to acquire exactly capacity - stashed names — A's stash
-  // must never serve B — and after A flushes, B gets the remainder.
+  // stash absorbs up to its capacity, the rest spills shared. While A is
+  // alive its stash is private (the per-thread magazine never serves
+  // another thread) — but when A *exits*, its thread context flushes the
+  // stash through the shared release path (renaming/service_directory.h),
+  // so no name is stranded in a dead thread's stash. Thread B can then
+  // acquire the entire namespace.
   RenamingService service(256, cached(4, /*cap=*/16));
   const std::uint64_t capacity = service.capacity();
 
@@ -255,6 +258,10 @@ TEST(NameCacheStress, HandoffOnlyThroughTheSharedPath) {
     ASSERT_GT(a_stashed, 0u);
   });
   a0.join();
+  // A's exit flush drained its stash through release_shared: nothing is
+  // live anywhere, including the a_stashed names that used to be parked
+  // (and, before the exit-flush fix, leaked forever).
+  EXPECT_EQ(service.names_live(), 0u);
 
   std::vector<Name> b_names;
   std::thread b([&] {
@@ -263,18 +270,16 @@ TEST(NameCacheStress, HandoffOnlyThroughTheSharedPath) {
     b_names.assign(batch.begin(), batch.begin() + got);
   });
   b.join();
-  EXPECT_EQ(b_names.size(), capacity - a_stashed)
-      << "thread B saw names parked in thread A's stash";
+  EXPECT_EQ(b_names.size(), capacity)
+      << "names parked in dead thread A's stash were leaked";
 
-  // A flushes (same OS thread identity is not required — any thread that
-  // *is* A would do; here we just rerun on a fresh thread A' and flush
-  // nothing, so use the service-level check instead): the stashed names
-  // are exactly the ones B could not get.
+  // Every one of A's names reappeared for B — handoff went through the
+  // shared path (the exit flush), never by reading A's stash directly.
   std::set<Name> b_set(b_names.begin(), b_names.end());
   std::uint64_t invisible = 0;
   for (const Name n : a_names) invisible += b_set.count(n) ? 0 : 1;
-  EXPECT_EQ(invisible, a_stashed);
-  EXPECT_EQ(service.names_live(), a_stashed + b_names.size());
+  EXPECT_EQ(invisible, 0u);
+  EXPECT_EQ(service.names_live(), b_names.size());
 }
 
 // The concurrent handoff stress: every released name crosses threads via

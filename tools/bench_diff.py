@@ -52,7 +52,17 @@ SCENARIO_THRESHOLDS = {
     "burst-drain-down": 0.50,
     "thread-churn": 0.55,
     "full-churn-hot": 0.60,
+    # A crasher thread spawns/reaps holder threads throughout the
+    # measurement window, so churner throughput swings with scheduler
+    # noise far more than the steady-state families.
+    "crash-churn": 0.50,
 }
+
+# Scenario families that exist only under a build/runtime flag (or were
+# introduced after a given baseline was committed): when one of these
+# shows up fresh-only, that is expected configuration skew, not coverage
+# drift worth a warning line in the drift report.
+FLAG_GATED_FAMILIES = {"crash-churn"}
 
 OVERSUBSCRIBED_THRESHOLD = 0.50
 
@@ -220,10 +230,25 @@ def main():
             print(f"  {scenario}: {len(cells)} cells "
                   f"({', '.join(cells[:4])}{', ...' if len(cells) > 4 else ''})")
     if only_fresh:
-        print(f"bench_diff: {len(only_fresh)} fresh cells not in baseline:")
-        for scenario, cells in by_scenario(only_fresh):
-            print(f"  {scenario}: {len(cells)} cells "
-                  f"({', '.join(cells[:4])}{', ...' if len(cells) > 4 else ''})")
+        # Flag-gated families are expected to appear fresh-only when the
+        # baseline predates them or was produced without the flag: list
+        # them as an informational note, keep the drift report for the
+        # rest. Exit codes are unchanged either way.
+        gated = [c for c in only_fresh if c[0] in FLAG_GATED_FAMILIES]
+        drift = [c for c in only_fresh if c not in gated]
+        if gated:
+            print(f"bench_diff: note: {len(gated)} fresh cells from "
+                  f"flag-gated families absent from baseline:")
+            for scenario, cells in by_scenario(gated):
+                print(f"  {scenario}: {len(cells)} cells "
+                      f"({', '.join(cells[:4])}"
+                      f"{', ...' if len(cells) > 4 else ''})")
+        if drift:
+            print(f"bench_diff: {len(drift)} fresh cells not in baseline:")
+            for scenario, cells in by_scenario(drift):
+                print(f"  {scenario}: {len(cells)} cells "
+                      f"({', '.join(cells[:4])}"
+                      f"{', ...' if len(cells) > 4 else ''})")
     sys.exit(1 if flagged else 0)
 
 

@@ -42,7 +42,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import model  # noqa: E402
 import rules  # noqa: E402
 
-SIM_VISIBLE_DIRS = ("src/tas", "src/elastic", "src/renaming")
+SIM_VISIBLE_DIRS = ("src/tas", "src/elastic", "src/renaming", "src/lease")
 SIM_VISIBLE_FILES = ("src/platform/epoch.h",)
 TELEMETRY_DIR = "src/telemetry"
 CL_EXTRA_DIRS = ("bench", "tests", "examples")

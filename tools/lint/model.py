@@ -820,7 +820,10 @@ class SourceModel:
                     toks[j - 1].text == "::" and toks[j - 2].text == "std":
                 explicit_std_mutex = True
             j += 1
-        # variable name then '(' arg ')': first identifier inside parens
+        # variable name then '(' arg ')': first identifier inside parens,
+        # following member access to its last component so that
+        # `lock(shard.mu)` / `lock(sp->mu)` resolve to the declaration of
+        # `mu` rather than to the enclosing object.
         mutex_name = None
         while j < n and toks[j].text not in ("(", ";", "{"):
             j += 1
@@ -834,8 +837,9 @@ class SourceModel:
                     depth -= 1
                     if depth == 0:
                         break
-                elif t.kind == IDENT and mutex_name is None and \
-                        not t.text.startswith("std"):
+                elif t.kind == IDENT and not t.text.startswith("std") and \
+                        (mutex_name is None
+                         or toks[j - 1].text in (".", "->")):
                     mutex_name = t.text
                 j += 1
         ann = self.statement_annotations(idx)
